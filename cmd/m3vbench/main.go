@@ -1,0 +1,54 @@
+// m3vbench runs the reproduced experiments of the paper's evaluation and
+// prints their tables, including the paper's published values side by side.
+//
+//	m3vbench             # everything (Figure 9 and 10 take a few minutes)
+//	m3vbench -run fig6   # one experiment: table1, sloc, fig6..fig10, voice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"m3v/internal/bench"
+)
+
+var experiments = map[string]func() *bench.Result{
+	"table1":   bench.Table1,
+	"sloc":     bench.SoftwareComplexity,
+	"fig6":     bench.Fig6,
+	"fig7":     bench.Fig7,
+	"fig8":     bench.Fig8,
+	"fig9":     bench.Fig9,
+	"voice":    bench.VoiceAssistant,
+	"fig10":    bench.Fig10,
+	"ablation": bench.Ablations,
+}
+
+var order = []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", "fig10", "ablation"}
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := order
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		fn, ok := experiments[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Println(fn())
+	}
+}

@@ -1,0 +1,53 @@
+// tracegen prints the synthesized system-call traces used by the Figure 9
+// benchmark (find and SQLite), in a readable text form.
+//
+//	tracegen -trace find
+//	tracegen -trace sqlite -phase setup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m3v/internal/traces"
+)
+
+func main() {
+	name := flag.String("trace", "find", "trace to print: find or sqlite")
+	phase := flag.String("phase", "run", "phase to print: setup or run")
+	summary := flag.Bool("summary", false, "print only the trace summary")
+	flag.Parse()
+
+	var tr *traces.Trace
+	switch *name {
+	case "find":
+		tr = traces.Find()
+	case "sqlite":
+		tr = traces.SQLite()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *name)
+		os.Exit(1)
+	}
+	sys, comp := tr.Stats()
+	fmt.Printf("# trace %s: %d setup ops, %d run ops (%d syscalls, %d compute cycles)\n",
+		tr.Name, len(tr.Setup), len(tr.Run), sys, comp)
+	if *summary {
+		return
+	}
+	ops := tr.Run
+	if *phase == "setup" {
+		ops = tr.Setup
+	}
+	names := []string{"open", "create", "read", "write", "close", "stat", "readdir", "unlink", "mkdir", "compute"}
+	for _, op := range ops {
+		switch {
+		case op.Kind == traces.OpCompute:
+			fmt.Printf("compute %d\n", op.Cycles)
+		case op.Size > 0:
+			fmt.Printf("%-8s %s %d\n", names[op.Kind], op.Path, op.Size)
+		default:
+			fmt.Printf("%-8s %s\n", names[op.Kind], op.Path)
+		}
+	}
+}

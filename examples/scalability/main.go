@@ -1,0 +1,22 @@
+// Scalability: a quick sweep of the paper's Figure 9 — the find traceplayer
+// with a tile-local file system on 1, 2, and 4 tiles, on M³v and on the M³x
+// baseline. M³v scales with the tiles; M³x is capped by the controller.
+package main
+
+import (
+	"fmt"
+
+	"m3v/internal/bench"
+	"m3v/internal/traces"
+)
+
+func main() {
+	fmt.Println("Figure 9 (quick sweep): find traceplayer + per-tile file system")
+	fmt.Printf("%-8s %12s %12s\n", "tiles", "M3v runs/s", "M3x runs/s")
+	for _, n := range []int{1, 2, 4} {
+		v := bench.Fig9Point(false, n, traces.Find)
+		x := bench.Fig9Point(true, n, traces.Find)
+		fmt.Printf("%-8d %12.0f %12.0f\n", n, v, x)
+	}
+	fmt.Println("\nM3v scales almost linearly; the single-threaded controller caps M3x.")
+}

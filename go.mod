@@ -1,0 +1,3 @@
+module m3v
+
+go 1.22

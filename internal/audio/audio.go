@@ -1,0 +1,91 @@
+// Package audio provides the voice-assistant signal path of §6.5.1: PCM
+// audio synthesis (room audio with an embedded trigger word) and the
+// trigger-word scanner that continuously listens to it.
+package audio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SampleRate is the modelled microphone sample rate.
+const SampleRate = 16000
+
+// Synthesize produces n samples of "room audio": low-level noise with
+// occasional speech-like bursts. Deterministic for a given seed.
+func Synthesize(seed int64, n int) []int16 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(rng.Intn(601) - 300) // background noise
+	}
+	// A few harmonic bursts (speech-ish content).
+	bursts := n / (SampleRate / 2)
+	for b := 0; b < bursts; b++ {
+		start := rng.Intn(n)
+		dur := SampleRate / 8
+		f := 200 + rng.Float64()*400
+		for i := 0; i < dur && start+i < n; i++ {
+			t := float64(i) / SampleRate
+			v := 6000 * math.Sin(2*math.Pi*f*t) * math.Exp(-12*t)
+			out[start+i] += int16(v)
+		}
+	}
+	return out
+}
+
+// EmbedTrigger overwrites a region at off with the trigger word: a
+// two-tone chirp with a distinctive energy envelope.
+func EmbedTrigger(samples []int16, off int) {
+	dur := TriggerSamples
+	for i := 0; i < dur && off+i < len(samples); i++ {
+		t := float64(i) / SampleRate
+		env := math.Sin(math.Pi * float64(i) / float64(dur)) // raised envelope
+		v := env * (9000*math.Sin(2*math.Pi*700*t) + 7000*math.Sin(2*math.Pi*1100*t))
+		samples[off+i] = int16(v)
+	}
+}
+
+// TriggerSamples is the trigger word's length.
+const TriggerSamples = SampleRate / 4 // 250 ms
+
+// windowSize is the scanner's analysis window.
+const windowSize = 256
+
+// Scanner detects the trigger word by tracking short-window energy: the
+// trigger is a sustained high-energy region of roughly TriggerSamples
+// length between quieter surroundings.
+type Scanner struct {
+	hot       int // consecutive high-energy windows
+	threshold float64
+}
+
+// NewScanner returns a scanner with the default energy threshold.
+func NewScanner() *Scanner { return &Scanner{threshold: 4000} }
+
+// Feed scans a chunk of samples and reports the index (within the chunk) at
+// which the trigger fired, or -1. The scanner keeps state across chunks.
+func (s *Scanner) Feed(chunk []int16) int {
+	need := TriggerSamples / 2 / windowSize // windows required to fire
+	for off := 0; off+windowSize <= len(chunk); off += windowSize {
+		var sum float64
+		for _, v := range chunk[off : off+windowSize] {
+			sum += float64(v) * float64(v)
+		}
+		rms := math.Sqrt(sum / windowSize)
+		if rms >= s.threshold {
+			s.hot++
+			if s.hot >= need {
+				s.hot = 0
+				return off + windowSize
+			}
+		} else {
+			s.hot = 0
+		}
+	}
+	return -1
+}
+
+// ScanCostCycles estimates the scanner's CPU cost for n samples (one MAC
+// per sample plus window bookkeeping).
+func ScanCostCycles(n int) int64 { return int64(n) * 6 }

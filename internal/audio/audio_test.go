@@ -1,0 +1,74 @@
+package audio
+
+import "testing"
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(42, 16000)
+	b := Synthesize(42, 16000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverge at %d", i)
+		}
+	}
+	c := Synthesize(43, 16000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical audio")
+	}
+}
+
+func TestScannerDetectsTrigger(t *testing.T) {
+	samples := Synthesize(1, SampleRate*4)
+	triggerAt := SampleRate * 2
+	EmbedTrigger(samples, triggerAt)
+	s := NewScanner()
+	fired := -1
+	const chunk = 1024
+	for off := 0; off+chunk <= len(samples); off += chunk {
+		if idx := s.Feed(samples[off : off+chunk]); idx >= 0 {
+			fired = off + idx
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("trigger not detected")
+	}
+	if fired < triggerAt || fired > triggerAt+TriggerSamples {
+		t.Errorf("fired at %d, trigger at %d..%d", fired, triggerAt, triggerAt+TriggerSamples)
+	}
+}
+
+func TestScannerIgnoresBackground(t *testing.T) {
+	samples := Synthesize(2, SampleRate*3) // bursts, but no trigger
+	s := NewScanner()
+	const chunk = 1024
+	for off := 0; off+chunk <= len(samples); off += chunk {
+		if idx := s.Feed(samples[off : off+chunk]); idx >= 0 {
+			t.Fatalf("false trigger at %d", off+idx)
+		}
+	}
+}
+
+func TestScannerStateAcrossChunks(t *testing.T) {
+	// The trigger must be found even when it straddles chunk boundaries.
+	samples := Synthesize(3, SampleRate*2)
+	EmbedTrigger(samples, SampleRate-100) // crosses the mid boundary
+	s := NewScanner()
+	found := false
+	const chunk = 512
+	for off := 0; off+chunk <= len(samples); off += chunk {
+		if s.Feed(samples[off:off+chunk]) >= 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("straddling trigger missed")
+	}
+}

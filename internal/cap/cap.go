@@ -1,0 +1,232 @@
+// Package cap implements the controller's capability system (paper §3.3:
+// "the controller decides which channels are established via
+// capability-based access control").
+//
+// Capabilities form a derivation tree: delegating or deriving a capability
+// creates a child. Revocation removes an entire subtree, which is what makes
+// revoke effective against re-delegation.
+package cap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sel is a selector: an activity-local name for a capability, analogous to a
+// file descriptor.
+type Sel uint32
+
+// SelInvalid is the zero selector; valid selectors start at 1.
+const SelInvalid Sel = 0
+
+// Kind identifies what a capability grants access to.
+type Kind uint8
+
+// Capability kinds.
+const (
+	KindInvalid  Kind = iota
+	KindTile          // the right to run activities on a tile
+	KindMem           // a physical-memory region (memory gate)
+	KindSendGate      // the right to send to a receive gate
+	KindRecvGate      // a receive gate (message endpoint + buffer)
+	KindService       // a registered service name
+	KindSession       // an open session with a service
+	KindActivity      // control over an activity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTile:
+		return "tile"
+	case KindMem:
+		return "mem"
+	case KindSendGate:
+		return "sgate"
+	case KindRecvGate:
+		return "rgate"
+	case KindService:
+		return "service"
+	case KindSession:
+		return "session"
+	case KindActivity:
+		return "activity"
+	default:
+		return "invalid"
+	}
+}
+
+// Errors returned by capability operations.
+var (
+	ErrNoSuchCap   = errors.New("cap: no such capability")
+	ErrWrongKind   = errors.New("cap: wrong capability kind")
+	ErrPermDenied  = errors.New("cap: insufficient rights")
+	ErrOutOfBounds = errors.New("cap: derivation out of bounds")
+)
+
+// Capability is one node of the derivation tree. The kernel is the only
+// holder of *Capability values; activities refer to them by selector.
+type Capability struct {
+	Kind Kind
+	// Obj is the kernel object this capability refers to (shared between a
+	// parent and its derived children).
+	Obj interface{}
+	// Perm restricts memory capabilities (R/W); derived children may only
+	// narrow it.
+	Perm uint8
+	// Off/Size restrict memory capabilities to a window of the parent.
+	Off, Size uint64
+
+	table    *Table
+	sel      Sel
+	parent   *Capability
+	children []*Capability
+	revoked  bool
+}
+
+// Sel reports the selector of this capability in its owning table.
+func (c *Capability) Sel() Sel { return c.sel }
+
+// Table returns the owning table (the holding activity's cap table).
+func (c *Capability) Table() *Table { return c.table }
+
+// Revoked reports whether this capability has been revoked.
+func (c *Capability) Revoked() bool { return c.revoked }
+
+// Parent returns the capability this one was derived or delegated from, or
+// nil for a root capability.
+func (c *Capability) Parent() *Capability { return c.parent }
+
+// Table is one activity's capability table.
+type Table struct {
+	owner string // diagnostic name
+	caps  map[Sel]*Capability
+	next  Sel
+}
+
+// NewTable creates an empty capability table.
+func NewTable(owner string) *Table {
+	return &Table{owner: owner, caps: make(map[Sel]*Capability), next: 1}
+}
+
+// Get resolves a selector.
+func (t *Table) Get(sel Sel) (*Capability, error) {
+	c, ok := t.caps[sel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s sel %d", ErrNoSuchCap, t.owner, sel)
+	}
+	return c, nil
+}
+
+// GetKind resolves a selector and checks its kind.
+func (t *Table) GetKind(sel Sel, kind Kind) (*Capability, error) {
+	c, err := t.Get(sel)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != kind {
+		return nil, fmt.Errorf("%w: sel %d is %v, want %v", ErrWrongKind, sel, c.Kind, kind)
+	}
+	return c, nil
+}
+
+// Insert adds a new root capability (created by the kernel) and returns it.
+func (t *Table) Insert(kind Kind, obj interface{}) *Capability {
+	c := &Capability{Kind: kind, Obj: obj, table: t, sel: t.next}
+	t.caps[c.sel] = c
+	t.next++
+	return c
+}
+
+// InsertMem adds a root memory capability with a permission window.
+func (t *Table) InsertMem(obj interface{}, off, size uint64, perm uint8) *Capability {
+	c := t.Insert(KindMem, obj)
+	c.Off, c.Size, c.Perm = off, size, perm
+	return c
+}
+
+// Len reports the number of capabilities in the table.
+func (t *Table) Len() int { return len(t.caps) }
+
+// Delegate clones c into dst as a child of c, returning the new capability.
+// The clone shares the kernel object and inherits the window and rights.
+func (c *Capability) Delegate(dst *Table) *Capability {
+	child := &Capability{
+		Kind: c.Kind, Obj: c.Obj, Perm: c.Perm, Off: c.Off, Size: c.Size,
+		table: dst, sel: dst.next, parent: c,
+	}
+	dst.caps[child.sel] = child
+	dst.next++
+	c.children = append(c.children, child)
+	return child
+}
+
+// DelegateAs creates a child of c in dst with a different kind and object.
+// The kernel uses this for derived objects whose lifetime must follow c's
+// (e.g. session send gates derived from a service's receive gate).
+func (c *Capability) DelegateAs(dst *Table, kind Kind, obj interface{}) *Capability {
+	child := c.Delegate(dst)
+	child.Kind = kind
+	child.Obj = obj
+	return child
+}
+
+// DeriveMem creates a narrowed memory capability in the same table: a window
+// [off, off+size) of c with perm restricted to a subset of c's rights.
+func (c *Capability) DeriveMem(off, size uint64, perm uint8) (*Capability, error) {
+	if c.Kind != KindMem {
+		return nil, ErrWrongKind
+	}
+	if perm&^c.Perm != 0 {
+		return nil, ErrPermDenied
+	}
+	if off+size < off || off+size > c.Size {
+		return nil, ErrOutOfBounds
+	}
+	child := &Capability{
+		Kind: KindMem, Obj: c.Obj, Perm: perm,
+		Off: c.Off + off, Size: size,
+		table: c.table, sel: c.table.next, parent: c,
+	}
+	c.table.caps[child.sel] = child
+	c.table.next++
+	c.children = append(c.children, child)
+	return child, nil
+}
+
+// Revoke removes c and its entire derivation subtree from all tables. It
+// returns the removed capabilities (the kernel uses this to deactivate
+// endpoints backed by them).
+func (c *Capability) Revoke() []*Capability {
+	var removed []*Capability
+	c.revokeInto(&removed)
+	// Detach from parent so the tree does not hold on to revoked nodes.
+	if p := c.parent; p != nil {
+		for i, ch := range p.children {
+			if ch == c {
+				p.children = append(p.children[:i], p.children[i+1:]...)
+				break
+			}
+		}
+		c.parent = nil
+	}
+	return removed
+}
+
+func (c *Capability) revokeInto(out *[]*Capability) {
+	for _, ch := range c.children {
+		ch.revokeInto(out)
+		ch.parent = nil
+	}
+	c.children = nil
+	c.revoked = true
+	delete(c.table.caps, c.sel)
+	*out = append(*out, c)
+}
+
+// Walk visits c and every descendant, depth first.
+func (c *Capability) Walk(fn func(*Capability)) {
+	fn(c)
+	for _, ch := range c.children {
+		ch.Walk(fn)
+	}
+}

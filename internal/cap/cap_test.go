@@ -1,0 +1,169 @@
+package cap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	tab := NewTable("a")
+	c := tab.Insert(KindRecvGate, "rgate-obj")
+	got, err := tab.Get(c.Sel())
+	if err != nil || got != c {
+		t.Fatalf("Get = (%v,%v), want (%v,nil)", got, err, c)
+	}
+	if _, err := tab.Get(999); !errors.Is(err, ErrNoSuchCap) {
+		t.Errorf("Get(999) err = %v, want ErrNoSuchCap", err)
+	}
+	if _, err := tab.GetKind(c.Sel(), KindSendGate); !errors.Is(err, ErrWrongKind) {
+		t.Errorf("GetKind wrong kind err = %v, want ErrWrongKind", err)
+	}
+}
+
+func TestDelegateSharesObject(t *testing.T) {
+	a, b := NewTable("a"), NewTable("b")
+	obj := &struct{ x int }{42}
+	c := a.Insert(KindSendGate, obj)
+	d := c.Delegate(b)
+	if d.Obj != c.Obj {
+		t.Error("delegated cap does not share the kernel object")
+	}
+	if d.Parent() != c {
+		t.Error("delegated cap's parent is not the source")
+	}
+	if b.Len() != 1 {
+		t.Errorf("dst table len = %d, want 1", b.Len())
+	}
+}
+
+func TestDeriveMemWindowAndRights(t *testing.T) {
+	tab := NewTable("a")
+	c := tab.InsertMem("dram", 0x1000, 0x4000, 3) // RW
+	d, err := c.DeriveMem(0x100, 0x200, 1)        // R-only window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Off != 0x1100 || d.Size != 0x200 || d.Perm != 1 {
+		t.Errorf("derived = off %#x size %#x perm %d", d.Off, d.Size, d.Perm)
+	}
+	// Rights may only narrow.
+	if _, err := d.DeriveMem(0, 0x100, 3); !errors.Is(err, ErrPermDenied) {
+		t.Errorf("widening derive err = %v, want ErrPermDenied", err)
+	}
+	// Window must stay in bounds.
+	if _, err := c.DeriveMem(0x3F00, 0x200, 1); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("out-of-bounds derive err = %v, want ErrOutOfBounds", err)
+	}
+	// Overflowing off+size must not wrap.
+	if _, err := c.DeriveMem(^uint64(0), 2, 1); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("wrapping derive err = %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestRevokeSubtree(t *testing.T) {
+	a, b, c3 := NewTable("a"), NewTable("b"), NewTable("c")
+	root := a.Insert(KindMem, "obj")
+	child := root.Delegate(b)
+	grandchild := child.Delegate(c3)
+	sibling := root.Delegate(c3)
+
+	removed := child.Revoke()
+	if len(removed) != 2 {
+		t.Fatalf("removed %d caps, want 2", len(removed))
+	}
+	if !child.Revoked() || !grandchild.Revoked() {
+		t.Error("subtree not marked revoked")
+	}
+	if sibling.Revoked() || root.Revoked() {
+		t.Error("revoke leaked outside the subtree")
+	}
+	if _, err := b.Get(child.Sel()); !errors.Is(err, ErrNoSuchCap) {
+		t.Error("revoked cap still resolvable in b")
+	}
+	if _, err := c3.Get(grandchild.Sel()); !errors.Is(err, ErrNoSuchCap) {
+		t.Error("revoked grandchild still resolvable")
+	}
+	if _, err := c3.Get(sibling.Sel()); err != nil {
+		t.Error("sibling was removed by unrelated revoke")
+	}
+}
+
+func TestRevokeRootRemovesEverything(t *testing.T) {
+	tables := []*Table{NewTable("a"), NewTable("b"), NewTable("c")}
+	root := tables[0].Insert(KindMem, "obj")
+	// Build a three-level tree across tables.
+	for _, tb := range tables[1:] {
+		ch := root.Delegate(tb)
+		ch.Delegate(tables[0])
+	}
+	removed := root.Revoke()
+	if len(removed) != 5 {
+		t.Fatalf("removed %d, want 5", len(removed))
+	}
+	for _, tb := range tables {
+		for sel := Sel(1); sel < 10; sel++ {
+			if c, err := tb.Get(sel); err == nil && !c.Revoked() {
+				t.Errorf("table %s still holds live cap %d after root revoke", tb.owner, sel)
+			}
+		}
+	}
+}
+
+// TestRevocationClosureProperty builds random delegation forests and checks
+// the core security invariant: after revoking any capability, no descendant
+// of it remains resolvable in any table.
+func TestRevocationClosureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tables := make([]*Table, 4)
+		for i := range tables {
+			tables[i] = NewTable(string(rune('a' + i)))
+		}
+		all := []*Capability{tables[0].Insert(KindMem, "root")}
+		for i := 0; i < 40; i++ {
+			src := all[rng.Intn(len(all))]
+			if src.Revoked() {
+				continue
+			}
+			dst := tables[rng.Intn(len(tables))]
+			all = append(all, src.Delegate(dst))
+		}
+		victim := all[rng.Intn(len(all))]
+		// Collect the expected subtree before revoking.
+		expect := map[*Capability]bool{}
+		if !victim.Revoked() {
+			victim.Walk(func(c *Capability) { expect[c] = true })
+		}
+		victim.Revoke()
+		for _, c := range all {
+			inSubtree := expect[c]
+			_, err := c.table.Get(c.sel)
+			resolvable := err == nil
+			if inSubtree && resolvable {
+				return false // descendant survived revocation
+			}
+			if inSubtree != c.Revoked() && inSubtree {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	a, b := NewTable("a"), NewTable("b")
+	root := a.Insert(KindMem, nil)
+	c1 := root.Delegate(b)
+	c1.Delegate(a)
+	root.Delegate(b)
+	n := 0
+	root.Walk(func(*Capability) { n++ })
+	if n != 4 {
+		t.Errorf("walk visited %d, want 4", n)
+	}
+}

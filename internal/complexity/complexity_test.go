@@ -1,0 +1,77 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVDTUHierarchySums(t *testing.T) {
+	comps := VDTU()
+	byName := map[string]Component{}
+	for _, c := range comps {
+		byName[c.Name] = c
+	}
+	// CMD CTRL = Unpriv + Priv.
+	if got, want := byName["CMD CTRL"].KLUTs,
+		byName["Unpriv. IF"].KLUTs+byName["Priv. IF"].KLUTs; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CMD CTRL = %v, want %v", got, want)
+	}
+	// Control Unit = NoC CTRL + CMD CTRL.
+	if got, want := byName["Control Unit"].KLUTs,
+		byName["NoC CTRL"].KLUTs+byName["CMD CTRL"].KLUTs; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Control Unit = %v, want %v", got, want)
+	}
+	// vDTU = Control Unit + Register file + PMP + FIFOs.
+	sum := byName["Control Unit"].KLUTs + byName["Register file"].KLUTs +
+		byName["Memory mapper + PMP"].KLUTs + byName["I/O FIFOs"].KLUTs
+	if got := byName["vDTU"].KLUTs; math.Abs(got-sum) > 1e-9 {
+		t.Errorf("vDTU = %v, want %v", got, sum)
+	}
+}
+
+func TestModelNearTable1(t *testing.T) {
+	// Each leaf estimate should land within 2x of Table 1's value (the
+	// factors are shared across components; per-component agreement is a
+	// structural property).
+	for _, c := range VDTU() {
+		if c.PaperKLUTs == 0 {
+			continue
+		}
+		ratio := c.KLUTs / c.PaperKLUTs
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: %.2f kLUTs vs paper %.2f (ratio %.2f)", c.Name, c.KLUTs, c.PaperKLUTs, ratio)
+		}
+	}
+}
+
+func TestVirtualizationDelta(t *testing.T) {
+	pct, regs := VirtualizationDelta()
+	if pct < 3 || pct > 12 {
+		t.Errorf("delta = %.1f%%, want ~6%%", pct)
+	}
+	if regs != 4 {
+		t.Errorf("added regs = %d, want 4", regs)
+	}
+}
+
+func TestSLOCCountsRealCode(t *testing.T) {
+	n, err := SLOC("internal/complexity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This package has well over 50 and under 1000 code lines.
+	if n < 50 || n > 1000 {
+		t.Errorf("SLOC = %d", n)
+	}
+	// Tests are excluded, so counting twice gives the same number.
+	n2, _ := SLOC("internal/complexity")
+	if n != n2 {
+		t.Errorf("SLOC not deterministic: %d vs %d", n, n2)
+	}
+}
+
+func TestSLOCMissingDir(t *testing.T) {
+	if _, err := SLOC("internal/does-not-exist"); err == nil {
+		t.Error("missing dir did not error")
+	}
+}

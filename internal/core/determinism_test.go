@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/sim"
+)
+
+// TestSystemDeterminism boots the same multi-tile scenario twice and
+// requires identical simulated timings: the whole platform — NoC, DTUs,
+// TileMux scheduling, kernel — must be deterministic (DESIGN.md §6).
+func TestSystemDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		sys := New(FPGAConfig())
+		defer sys.Shutdown()
+		procs := sys.Cfg.ProcessingTiles()
+		var marks []sim.Time
+		share := &chanInfo{}
+		sys.SpawnRoot(procs[0], "det", nil, func(a *activity.Activity) {
+			tiles := TileSels(a)
+			_, err := a.Spawn(tiles[procs[1]], procs[1], "server",
+				map[string]interface{}{"share": share, "client": a.ID}, serverProg)
+			if err != nil {
+				t.Errorf("spawn: %v", err)
+				return
+			}
+			for !share.ready {
+				a.Compute(1000)
+				a.Yield()
+			}
+			marks = append(marks, a.Now())
+			sgEp, _ := a.SysActivate(share.sgateSel)
+			rgSel, _ := a.SysCreateRGate(2, 128)
+			rgEp, _ := a.SysActivate(rgSel)
+			if _, err := a.Call(sgEp, rgEp, []byte("ping")); err != nil {
+				t.Errorf("call: %v", err)
+			}
+			marks = append(marks, a.Now())
+			a.Compute(12345)
+			marks = append(marks, a.Now())
+		})
+		end := sys.Run(10 * sim.Second)
+		marks = append(marks, end)
+		return marks
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("mark counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at mark %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/dtu"
+	"m3v/internal/sim"
+)
+
+// TestKillRunningActivity injects a failure: the parent kills a
+// compute-bound child; the kill flows controller -> TileMux, the child is
+// descheduled for good, and the parent's wait completes with code -1.
+func TestKillRunningActivity(t *testing.T) {
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+
+	progress := 0
+	root := sys.SpawnRoot(procs[0], "killer", nil, func(a *activity.Activity) {
+		tiles := TileSels(a)
+		ref, err := a.Spawn(tiles[procs[1]], procs[1], "looper",
+			map[string]interface{}{"progress": &progress}, func(c *activity.Activity) {
+				for {
+					c.Compute(8000) // 100us per lap
+					progress++
+				}
+			})
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			return
+		}
+		a.ComputeTime(5 * sim.Millisecond) // let it loop a while
+		if err := a.SysKill(ref.ActSel); err != nil {
+			t.Errorf("kill: %v", err)
+			return
+		}
+		code, err := a.SysWait(ref.ActSel)
+		if err != nil || code != -1 {
+			t.Errorf("wait after kill = (%d,%v), want (-1,nil)", code, err)
+		}
+		snapshot := progress
+		a.ComputeTime(5 * sim.Millisecond)
+		if progress > snapshot+1 {
+			t.Errorf("killed child kept running: %d -> %d", snapshot, progress)
+		}
+	})
+	sys.Run(60 * sim.Second)
+	if !root.Done() {
+		t.Fatal("root did not finish")
+	}
+	if progress == 0 {
+		t.Error("child never ran before the kill")
+	}
+}
+
+// TestWaitBeforeExitThenKill covers the deferred-reply path: the parent
+// waits first, then a sibling triggers the kill.
+func TestWaitBeforeExitThenKill(t *testing.T) {
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+
+	root := sys.SpawnRoot(procs[0], "parent", nil, func(a *activity.Activity) {
+		tiles := TileSels(a)
+		victim, err := a.Spawn(tiles[procs[1]], procs[1], "victim", nil,
+			func(c *activity.Activity) {
+				for {
+					c.Compute(8000)
+				}
+			})
+		if err != nil {
+			t.Errorf("spawn victim: %v", err)
+			return
+		}
+		// A sibling signals when to kill (model-level trigger).
+		killerDone := false
+		_, err = a.Spawn(tiles[procs[2]], procs[2], "reaper",
+			map[string]interface{}{"done": &killerDone}, func(c *activity.Activity) {
+				c.ComputeTime(2 * sim.Millisecond)
+				*(c.Env["done"].(*bool)) = true
+			})
+		if err != nil {
+			t.Errorf("spawn reaper: %v", err)
+			return
+		}
+		for !killerDone {
+			a.Compute(1000)
+			a.Yield()
+		}
+		if err := a.SysKill(victim.ActSel); err != nil {
+			t.Errorf("kill: %v", err)
+			return
+		}
+		if code, err := a.SysWait(victim.ActSel); err != nil || code != -1 {
+			t.Errorf("wait = (%d,%v)", code, err)
+		}
+	})
+	sys.Run(60 * sim.Second)
+	if !root.Done() {
+		t.Fatal("did not finish")
+	}
+}
+
+// TestRevokedServiceGate verifies that revoking a service's receive gate
+// tears down a client's session gate (the derivation tree in action).
+func TestRevokedServiceGate(t *testing.T) {
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+	ready := &chanInfo{}
+	gotErr := false
+	root := sys.SpawnRoot(procs[0], "client", nil, func(a *activity.Activity) {
+		tiles := TileSels(a)
+		_, err := a.Spawn(tiles[procs[1]], procs[1], "one-shot-srv",
+			map[string]interface{}{"share": ready}, revocableService)
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			return
+		}
+		for !ready.ready {
+			a.Compute(1000)
+			a.Yield()
+		}
+		sess, err := a.SysOpenSess("oneshot")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		sgEp, err := a.SysActivate(sess.SGateSel)
+		if err != nil {
+			t.Errorf("activate: %v", err)
+			return
+		}
+		rgSel, _ := a.SysCreateRGate(1, 64)
+		rgEp, _ := a.SysActivate(rgSel)
+		// First call works and triggers the service's self-revocation.
+		if _, err := a.Call(sgEp, rgEp, []byte("once")); err != nil {
+			t.Errorf("first call: %v", err)
+			return
+		}
+		// Let the revocation propagate, then the endpoint must be dead.
+		a.ComputeTime(2 * sim.Millisecond)
+		if err := a.Send(sgEp, []byte("again"), 0, -1, 0); err != nil {
+			gotErr = true
+		}
+	})
+	sys.Run(60 * sim.Second)
+	if !root.Done() {
+		t.Fatal("did not finish")
+	}
+	if !gotErr {
+		t.Error("send over a revoked session gate succeeded")
+	}
+}
+
+func revocableService(a *activity.Activity) {
+	share := a.Env["share"].(*chanInfo)
+	rgSel, err := a.SysCreateRGate(4, 64)
+	if err != nil {
+		panic(err)
+	}
+	rgEp, err := a.SysActivate(rgSel)
+	if err != nil {
+		panic(err)
+	}
+	if err := a.SysCreateSrv("oneshot", rgSel); err != nil {
+		panic(err)
+	}
+	share.ready = true
+	slot, msg := a.Recv(rgEp)
+	if err := a.ReplyMsg(rgEp, slot, msg, []byte("ok"), 0); err != nil {
+		panic(err)
+	}
+	// Revoke our receive gate: every derived session send gate dies with it.
+	if err := a.SysRevoke(rgSel); err != nil {
+		panic(err)
+	}
+}
+
+var _ = dtu.PermR

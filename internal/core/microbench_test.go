@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/sim"
+)
+
+// These tests pin the calibration of the cost model against the paper's
+// Figure 6 anchors: on the 80 MHz BOOM cores, a cross-tile no-op RPC costs
+// roughly a Linux no-op syscall (~2k cycles, ~25us), and a tile-local no-op
+// RPC (two interrupts + two context switches) costs ~5k cycles (~60us).
+
+// measureRPC runs n no-op RPCs between two activities and returns the mean
+// round-trip time. If serverTile == clientTile the communication is
+// tile-local.
+func measureRPC(t *testing.T, sameTile bool, n int) sim.Time {
+	t.Helper()
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+	// BOOM tiles start at index 2 of the FPGA config.
+	clientTile := procs[1]
+	serverTile := procs[2]
+	if sameTile {
+		serverTile = clientTile
+	}
+
+	share := &chanInfo{}
+	var total sim.Time
+	root := sys.SpawnRoot(clientTile, "client", nil, func(a *activity.Activity) {
+		tiles := TileSels(a)
+		_, err := a.Spawn(tiles[serverTile], serverTile, "server",
+			map[string]interface{}{"share": share, "rounds": n}, rpcServer)
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			return
+		}
+		for !share.ready {
+			a.Compute(1000)
+			a.Yield()
+		}
+		sgEp, err := a.SysActivate(share.sgateSel)
+		if err != nil {
+			t.Errorf("activate: %v", err)
+			return
+		}
+		rgSel, _ := a.SysCreateRGate(1, 64)
+		rgEp, _ := a.SysActivate(rgSel)
+		// Warmup.
+		if _, err := a.Call(sgEp, rgEp, []byte{0}); err != nil {
+			t.Errorf("warmup call: %v", err)
+			return
+		}
+		start := a.Now()
+		for i := 0; i < n; i++ {
+			if _, err := a.Call(sgEp, rgEp, []byte{1}); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+		}
+		total = a.Now() - start
+	})
+	sys.Run(30 * sim.Second)
+	if !root.Done() {
+		t.Fatal("benchmark did not finish")
+	}
+	return total / sim.Time(n)
+}
+
+func rpcServer(a *activity.Activity) {
+	share := a.Env["share"].(*chanInfo)
+	rounds := a.Env["rounds"].(int)
+	rgSel, err := a.SysCreateRGate(1, 64)
+	if err != nil {
+		panic(err)
+	}
+	rgEp, err := a.SysActivate(rgSel)
+	if err != nil {
+		panic(err)
+	}
+	sgSel, err := a.SysCreateSGate(rgSel, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	client := a.Env["client"]
+	_ = client
+	delegated, err := a.SysDelegate(1, sgSel) // root is always activity 1
+	if err != nil {
+		panic(err)
+	}
+	share.sgateSel = delegated
+	share.ready = true
+	for i := 0; i < rounds+1; i++ { // +1 warmup
+		slot, msg := a.Recv(rgEp)
+		if err := a.ReplyMsg(rgEp, slot, msg, []byte{2}, 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestFig6RemoteRPCCalibration(t *testing.T) {
+	mean := measureRPC(t, false, 50)
+	t.Logf("remote no-op RPC: %v (%d cycles @80MHz)", mean, sim.MHz(80).CyclesIn(mean))
+	// Paper: roughly a Linux syscall, ~2k cycles at 80 MHz (25us). Accept a
+	// generous band around the anchor.
+	if mean < 10*sim.Microsecond || mean > 45*sim.Microsecond {
+		t.Errorf("remote RPC = %v, want 10-45us (paper anchor ~25us)", mean)
+	}
+}
+
+func TestFig6LocalRPCCalibration(t *testing.T) {
+	mean := measureRPC(t, true, 50)
+	t.Logf("local no-op RPC: %v (%d cycles @80MHz)", mean, sim.MHz(80).CyclesIn(mean))
+	// Paper: ~5k cycles at 80 MHz (~62us), several times the remote cost.
+	if mean < 40*sim.Microsecond || mean > 95*sim.Microsecond {
+		t.Errorf("local RPC = %v, want 40-95us (paper anchor ~62us)", mean)
+	}
+}
+
+func TestFig6LocalCostsMoreThanRemote(t *testing.T) {
+	remote := measureRPC(t, false, 30)
+	local := measureRPC(t, true, 30)
+	if local <= remote {
+		t.Errorf("local (%v) should cost more than remote (%v): it involves "+
+			"two interrupts and two context switches", local, remote)
+	}
+	ratio := float64(local) / float64(remote)
+	if ratio < 1.5 || ratio > 5 {
+		t.Errorf("local/remote ratio = %.2f, want within [1.5, 5] (paper ~2.3)", ratio)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/dtu"
+	"m3v/internal/sim"
+)
+
+// TestSyscallErrorPaths drives the controller's validation logic through
+// the real syscall transport: bad selectors, wrong capability kinds,
+// malformed arguments, duplicate registrations, and resource exhaustion
+// must all come back as clean errors, never as kernel failures.
+func TestSyscallErrorPaths(t *testing.T) {
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	tile := sys.Cfg.ProcessingTiles()[0]
+
+	done := false
+	root := sys.SpawnRoot(tile, "prober", nil, func(a *activity.Activity) {
+		// Unknown selector.
+		if _, err := a.SysActivate(999); err == nil {
+			t.Error("activate of unknown selector succeeded")
+		}
+		// Wrong kind: a memory gate is not an activity.
+		memSel, err := a.SysCreateMGate(4096, dtu.PermRW)
+		if err != nil {
+			t.Errorf("create mgate: %v", err)
+			return
+		}
+		if err := a.SysStart(memSel); err == nil {
+			t.Error("starting a memory gate succeeded")
+		}
+		if _, err := a.SysWait(memSel); err == nil {
+			t.Error("waiting on a memory gate succeeded")
+		}
+		// A send gate needs an activated receive gate.
+		rgSel, err := a.SysCreateRGate(2, 64)
+		if err != nil {
+			t.Errorf("create rgate: %v", err)
+			return
+		}
+		sgSel, err := a.SysCreateSGate(rgSel, 0, 1)
+		if err != nil {
+			t.Errorf("create sgate: %v", err)
+			return
+		}
+		if _, err := a.SysActivate(sgSel); err == nil {
+			t.Error("activating a send gate before its rgate succeeded")
+		}
+		// Invalid receive gate shapes.
+		if _, err := a.SysCreateRGate(3, 64); err == nil {
+			t.Error("non-power-of-two slot count accepted")
+		}
+		if _, err := a.SysCreateRGate(0, 64); err == nil {
+			t.Error("zero slots accepted")
+		}
+		// Re-activation of a receive gate.
+		if _, err := a.SysActivate(rgSel); err != nil {
+			t.Errorf("first rgate activation: %v", err)
+		}
+		if _, err := a.SysActivate(rgSel); err == nil {
+			t.Error("double rgate activation succeeded")
+		}
+		// Derivation wider than the parent.
+		if _, err := a.SysDeriveMGate(memSel, 0, 8192, dtu.PermRW); err == nil {
+			t.Error("oversized derive succeeded")
+		}
+		// Delegation to a nonexistent activity.
+		if _, err := a.SysDelegate(4242, memSel); err == nil {
+			t.Error("delegation to unknown activity succeeded")
+		}
+		// Duplicate service name.
+		srvRg, _ := a.SysCreateRGate(2, 64)
+		if _, err := a.SysActivate(srvRg); err != nil {
+			t.Errorf("activate srv rgate: %v", err)
+		}
+		if err := a.SysCreateSrv("dup", srvRg); err != nil {
+			t.Errorf("first registration: %v", err)
+		}
+		if err := a.SysCreateSrv("dup", srvRg); err == nil {
+			t.Error("duplicate service registration succeeded")
+		}
+		// Session with an unknown service.
+		if _, err := a.SysOpenSess("no-such-service"); err == nil {
+			t.Error("session with unknown service succeeded")
+		}
+		// Exhaustion: DRAM larger than all memory tiles.
+		if _, err := a.SysCreateMGate(1<<40, dtu.PermRW); err == nil {
+			t.Error("absurd allocation succeeded")
+		}
+		// The kernel is still alive after all the abuse.
+		if err := a.SysNoop(); err != nil {
+			t.Errorf("noop after error storm: %v", err)
+		}
+		done = true
+	})
+	sys.Run(30 * sim.Second)
+	if !root.Done() || !done {
+		t.Fatal("prober did not finish")
+	}
+}
+
+// TestEndpointExhaustion allocates endpoints until the tile's register file
+// is full; the kernel must panic-free refuse... the current model panics by
+// design (an out-of-endpoints tile is a platform misconfiguration), so this
+// test stays below the limit and verifies dense allocation works.
+func TestEndpointDenseAllocation(t *testing.T) {
+	sys := New(FPGAConfig())
+	defer sys.Shutdown()
+	tile := sys.Cfg.ProcessingTiles()[0]
+	count := 0
+	root := sys.SpawnRoot(tile, "dense", nil, func(a *activity.Activity) {
+		// 8..127 minus the two std EPs leaves ~110 endpoints; use 100.
+		for i := 0; i < 50; i++ {
+			rg, err := a.SysCreateRGate(1, 32)
+			if err != nil {
+				t.Errorf("rgate %d: %v", i, err)
+				return
+			}
+			if _, err := a.SysActivate(rg); err != nil {
+				t.Errorf("activate rgate %d: %v", i, err)
+				return
+			}
+			sg, err := a.SysCreateSGate(rg, uint64(i), 1)
+			if err != nil {
+				t.Errorf("sgate %d: %v", i, err)
+				return
+			}
+			if _, err := a.SysActivate(sg); err != nil {
+				t.Errorf("activate sgate %d: %v", i, err)
+				return
+			}
+			count += 2
+		}
+	})
+	sys.Run(60 * sim.Second)
+	if !root.Done() || count != 100 {
+		t.Fatalf("done=%v count=%d", root.Done(), count)
+	}
+}

@@ -1,0 +1,290 @@
+package dtu
+
+import (
+	"m3v/internal/noc"
+	"m3v/internal/sim"
+)
+
+// This file implements the unprivileged command interface: the commands
+// activities issue through MMIO (paper §4.1, "Core-vDTU Interface"). All
+// commands run in process context and block the calling process for the
+// modelled duration.
+
+// SendArgs describes a SEND command.
+type SendArgs struct {
+	Ep   EpID   // send endpoint
+	Data []byte // payload (the modelled buffer contents)
+	// Vaddr is the virtual address of the payload buffer, checked against
+	// the vDTU TLB.
+	Vaddr uint64
+	// ReplyEp is the receive endpoint for the reply, or -1 for one-way
+	// messages.
+	ReplyEp EpID
+	// ReplyLabel is carried as the Label of the reply message.
+	ReplyLabel uint64
+}
+
+// Send executes the SEND command: it consumes a credit, transfers the
+// message to the target receive endpoint, and completes when the remote DTU
+// acknowledges storage (or reports an error). ErrNoRecipient restores the
+// credit, since no message is in flight afterwards.
+func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
+	d.charge(p, d.costs.SendCmd)
+	e, err := d.epFor(a.Ep, EpSend)
+	if err != nil {
+		return err
+	}
+	if len(a.Data) > e.MsgSize {
+		return ErrMsgTooLarge
+	}
+	if e.Credits <= 0 {
+		return ErrNoCredits
+	}
+	if err := d.translate(a.Vaddr, len(a.Data), PermR); err != nil {
+		return err
+	}
+	e.Credits--
+	crdEp := a.Ep
+	if e.Reply {
+		// Single-shot reply endpoints do not get credits back.
+		crdEp = -1
+	}
+	msg := Message{
+		Label:      e.Label,
+		SndTile:    d.tile,
+		SndAct:     d.curAct,
+		ReplyEp:    a.ReplyEp,
+		CrdEp:      crdEp,
+		ReplyLabel: a.ReplyLabel,
+		Data:       append([]byte(nil), a.Data...),
+	}
+	d.Sends++
+	err = d.issueMsg(p, e.TgtTile, msgPacket{DstEp: e.TgtEp, Msg: msg, CrdRet: -1}, len(a.Data))
+	if err != nil {
+		e.Credits++ // command failed; nothing in flight
+	}
+	// Data leaves through the cache bus.
+	p.Sleep(d.costs.xferTime(len(a.Data)))
+	return err
+}
+
+// Reply executes the REPLY command on a fetched message: it sends data to
+// the reply endpoint recorded in the slot, frees the slot, and piggybacks
+// the credit return for the original request.
+func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
+	d.charge(p, d.costs.ReplyCmd)
+	e, err := d.epFor(ep, EpReceive)
+	if err != nil {
+		return err
+	}
+	if slot < 0 || slot >= e.Slots || e.occupied&(1<<uint(slot)) == 0 {
+		return ErrInvalidArgs
+	}
+	req := e.slots[slot].msg
+	if req.ReplyEp < 0 {
+		return ErrInvalidArgs // sender did not ask for a reply
+	}
+	if len(data) > e.SlotSize {
+		return ErrMsgTooLarge
+	}
+	if err := d.translate(vaddr, len(data), PermR); err != nil {
+		return err
+	}
+	// Free the slot before the transfer: the hardware retires the slot as
+	// part of issuing the reply.
+	e.occupied &^= 1 << uint(slot)
+	e.unread &^= 1 << uint(slot)
+	reply := Message{
+		Label:   req.ReplyLabel,
+		SndTile: d.tile,
+		SndAct:  d.curAct,
+		ReplyEp: -1,
+		CrdEp:   -1,
+		Data:    append([]byte(nil), data...),
+	}
+	d.Replies++
+	err = d.issueMsg(p, req.SndTile, msgPacket{DstEp: req.ReplyEp, Msg: reply, CrdRet: req.CrdEp}, len(data))
+	p.Sleep(d.costs.xferTime(len(data)))
+	return err
+}
+
+// SendRaw transmits a fully specified message to an arbitrary receive
+// endpoint, bypassing send-endpoint checks. Only the M³x controller uses it:
+// it is the trusted entity that delivers slow-path messages on behalf of
+// senders (paper §2.2).
+func (d *DTU) SendRaw(p *sim.Proc, tile noc.TileID, ep EpID, msg Message, crdRet EpID) error {
+	if d.virt {
+		panic("dtu: SendRaw is a controller-DTU operation")
+	}
+	return d.issueMsg(p, tile, msgPacket{DstEp: ep, Msg: msg, CrdRet: crdRet}, len(msg.Data))
+}
+
+// issueMsg transmits a message packet and blocks until the destination DTU
+// acknowledges it.
+func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) error {
+	done := false
+	var result error
+	pkt.Ack = func(err error) {
+		result = err
+		done = true
+		p.Wake()
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: dst, Size: headerBytes + payload, Payload: pkt})
+	})
+	for !done {
+		p.Park()
+	}
+	return result
+}
+
+// Fetch executes FETCH_MSG: it returns the oldest unread message of the
+// receive endpoint without freeing its slot. The slot index must be passed
+// to Reply or Ack later.
+func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
+	d.charge(p, d.costs.FetchCmd)
+	e, err := d.epFor(ep, EpReceive)
+	if err != nil {
+		return 0, nil, err
+	}
+	if e.unread == 0 {
+		return 0, nil, ErrNoMessage
+	}
+	slot := 0
+	for e.unread&(1<<uint(slot)) == 0 {
+		slot++
+	}
+	e.unread &^= 1 << uint(slot)
+	if d.curMsgs > 0 {
+		d.curMsgs--
+	}
+	d.Fetches++
+	m := e.slots[slot].msg
+	p.Sleep(d.costs.xferTime(len(m.Data))) // message moves over the cache bus
+	return slot, &m, nil
+}
+
+// Ack executes ACK_MSG: it frees a fetched slot and returns the credit to
+// the sender (for messages that are not answered with Reply).
+func (d *DTU) Ack(p *sim.Proc, ep EpID, slot int) error {
+	d.charge(p, d.costs.AckCmd)
+	e, err := d.epFor(ep, EpReceive)
+	if err != nil {
+		return err
+	}
+	if slot < 0 || slot >= e.Slots || e.occupied&(1<<uint(slot)) == 0 {
+		return ErrInvalidArgs
+	}
+	msg := e.slots[slot].msg
+	bit := uint64(1) << uint(slot)
+	if e.unread&bit != 0 && d.curMsgs > 0 {
+		d.curMsgs-- // acked without fetching
+	}
+	e.occupied &^= bit
+	e.unread &^= bit
+	d.Acks++
+	if msg.CrdEp >= 0 {
+		d.eng.After(d.costs.Proc, func() {
+			d.net.Send(&noc.Packet{
+				Src: d.tile, Dst: msg.SndTile, Size: headerBytes,
+				Payload: creditPacket{DstEp: msg.CrdEp},
+			})
+		})
+	}
+	return nil
+}
+
+// Read executes the READ command: a DMA read of n bytes from offset off of
+// the memory endpoint's region. The local buffer (vaddr) and the region
+// window are both limited to a single page per command.
+func (d *DTU) Read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byte, error) {
+	d.charge(p, d.costs.XferCmd)
+	e, err := d.epFor(ep, EpMemory)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > PageSize {
+		return nil, ErrInvalidArgs
+	}
+	if !e.MemPerm.Has(PermR) {
+		return nil, ErrNoPerm
+	}
+	if off+uint64(n) > e.MemSize {
+		return nil, ErrNoPerm
+	}
+	if err := d.translate(vaddr, n, PermW); err != nil {
+		return nil, err
+	}
+	var data []byte
+	done := false
+	req := memReadReq{
+		Off: e.MemBase + off,
+		N:   n,
+		Reply: func(b []byte) {
+			data = b
+			done = true
+			p.Wake()
+		},
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: e.MemTile, Size: headerBytes, Payload: req})
+	})
+	for !done {
+		p.Park()
+	}
+	d.Reads++
+	p.Sleep(d.costs.xferTime(n))
+	return data, nil
+}
+
+// Write executes the WRITE command: a DMA write into the memory endpoint's
+// region.
+func (d *DTU) Write(p *sim.Proc, ep EpID, off uint64, data []byte, vaddr uint64) error {
+	d.charge(p, d.costs.XferCmd)
+	e, err := d.epFor(ep, EpMemory)
+	if err != nil {
+		return err
+	}
+	if len(data) > PageSize {
+		return ErrInvalidArgs
+	}
+	if !e.MemPerm.Has(PermW) {
+		return ErrNoPerm
+	}
+	if off+uint64(len(data)) > e.MemSize {
+		return ErrNoPerm
+	}
+	if err := d.translate(vaddr, len(data), PermR); err != nil {
+		return err
+	}
+	done := false
+	req := memWriteReq{
+		Off:  e.MemBase + off,
+		Data: append([]byte(nil), data...),
+		Ack: func() {
+			done = true
+			p.Wake()
+		},
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{
+			Src: d.tile, Dst: e.MemTile, Size: headerBytes + len(data), Payload: req,
+		})
+	})
+	for !done {
+		p.Park()
+	}
+	d.Writes++
+	p.Sleep(d.costs.xferTime(len(data)))
+	return nil
+}
+
+// HasUnread reports whether the endpoint currently holds unread messages.
+// It models the cheap MMIO poll of the receive endpoint's unread register.
+func (d *DTU) HasUnread(ep EpID) bool {
+	if ep < 0 || int(ep) >= NumEPs {
+		return false
+	}
+	e := &d.eps[ep]
+	return e.Kind == EpReceive && e.unread != 0
+}

@@ -1,0 +1,321 @@
+package dtu
+
+import (
+	"fmt"
+
+	"m3v/internal/mem"
+	"m3v/internal/noc"
+	"m3v/internal/sim"
+)
+
+// coreReqDepth is the depth of the vDTU's core-request queue (paper §3.8:
+// "the vDTU needs to maintain a small queue of core requests"). Overruns are
+// absorbed by the NoC's packet-based flow control.
+const coreReqDepth = 4
+
+// DTU models one tile's data transfer unit. With virt=true it is the vDTU
+// carrying the privileged interface (activity-tagged endpoints, TLB, core
+// requests); with virt=false it is the plain DTU used on controller,
+// accelerator, and memory tiles — and on all tiles in the M³x baseline.
+type DTU struct {
+	eng       *sim.Engine
+	net       *noc.Network
+	tile      noc.TileID
+	coreClock sim.Clock
+	virt      bool
+	mem       *mem.Memory // non-nil on memory tiles
+	costs     Costs
+
+	eps     [NumEPs]Endpoint
+	tlb     *TLB
+	curAct  ActID
+	curMsgs int // unread-message count of the current activity (CUR_ACT)
+
+	coreReqs []ActID
+
+	// OnCoreReq is the core-request interrupt: the vDTU injects it into the
+	// core to notify TileMux that a non-running activity received a message.
+	OnCoreReq func()
+	// OnMsgArrived fires after any message is stored, with the owning
+	// activity id. The tile layer uses it to wake blocked receivers.
+	OnMsgArrived func(act ActID)
+	// OnCredits fires when credits return to a send endpoint.
+	OnCredits func(ep EpID)
+
+	// Counters for tests and reports.
+	Sends, Replies, Fetches, Acks, Reads, Writes int64
+	CoreReqsRaised                               int64
+	NackedDeliveries                             int64
+}
+
+// New creates a DTU, attaches it to the NoC, and returns it.
+func New(eng *sim.Engine, net *noc.Network, tile noc.TileID, coreClock sim.Clock, virt bool) *DTU {
+	d := &DTU{
+		eng:       eng,
+		net:       net,
+		tile:      tile,
+		coreClock: coreClock,
+		virt:      virt,
+		costs:     DefaultCosts(),
+		curAct:    ActInvalid,
+	}
+	if virt {
+		d.tlb = NewTLB()
+	}
+	net.Attach(tile, d)
+	return d
+}
+
+// NewMemory creates the DTU of a memory tile serving the given DRAM.
+func NewMemory(eng *sim.Engine, net *noc.Network, tile noc.TileID, m *mem.Memory) *DTU {
+	d := New(eng, net, tile, sim.MHz(100), false)
+	d.mem = m
+	return d
+}
+
+// Tile reports the tile this DTU belongs to.
+func (d *DTU) Tile() noc.TileID { return d.tile }
+
+// Virtualized reports whether this DTU carries the privileged interface.
+func (d *DTU) Virtualized() bool { return d.virt }
+
+// Costs returns the timing model (the benches tweak it for ablations).
+func (d *DTU) Costs() *Costs { return &d.costs }
+
+// TLB exposes the software-loaded TLB (nil on non-virtualized DTUs).
+func (d *DTU) TLB() *TLB { return d.tlb }
+
+// CurAct reports the CUR_ACT register: current activity and its
+// unread-message count.
+func (d *DTU) CurAct() (ActID, int) { return d.curAct, d.curMsgs }
+
+// Ep returns a copy of an endpoint register, for inspection.
+func (d *DTU) Ep(ep EpID) Endpoint {
+	if ep < 0 || int(ep) >= NumEPs {
+		return Endpoint{}
+	}
+	return d.eps[ep]
+}
+
+// charge blocks the calling process for n core cycles, modelling MMIO
+// register traffic.
+func (d *DTU) charge(p *sim.Proc, n int64) {
+	if n > 0 {
+		p.Sleep(d.coreClock.Cycles(n))
+	}
+}
+
+// epFor validates that endpoint ep exists, has the wanted kind, and is owned
+// by the current activity. Any violation yields ErrUnknownEp so activities
+// cannot probe each other's endpoints (paper §3.5).
+func (d *DTU) epFor(ep EpID, kind EpKind) (*Endpoint, error) {
+	if ep < 0 || int(ep) >= NumEPs {
+		return nil, ErrUnknownEp
+	}
+	e := &d.eps[ep]
+	if e.Kind != kind {
+		return nil, ErrUnknownEp
+	}
+	if d.virt && e.Act != d.curAct {
+		return nil, ErrUnknownEp
+	}
+	return e, nil
+}
+
+// translate runs the vDTU's single TLB check for a command buffer. Buffers
+// must not cross a page boundary (paper §3.6). Non-virtualized DTUs and
+// TileMux (identity-mapped) skip translation, as do buffers at vaddr 0:
+// the model treats address 0 as the activity's pinned message area, which
+// is mapped at activity creation (like M³'s environment page) and never
+// faults.
+func (d *DTU) translate(vaddr uint64, n int, perm Perm) error {
+	if n > 0 && (vaddr&^(PageSize-1)) != ((vaddr+uint64(n)-1)&^(PageSize-1)) {
+		return ErrPageBoundary
+	}
+	if vaddr == 0 {
+		return nil
+	}
+	if !d.virt || d.curAct == ActTileMux || d.curAct == ActInvalid {
+		return nil
+	}
+	if _, ok := d.tlb.Lookup(d.curAct, vaddr, perm); !ok {
+		return ErrTLBMiss
+	}
+	return nil
+}
+
+// CheckPMP reports whether a physical access [addr, addr+n) with the given
+// permission is allowed by the PMP endpoints (endpoints 0..3, paper §4.1).
+// It returns the memory tile and tile-local offset of the access.
+func (d *DTU) CheckPMP(addr uint64, n int, perm Perm) (noc.TileID, uint64, error) {
+	for i := 0; i < NumPMPEPs; i++ {
+		e := &d.eps[i]
+		if e.Kind != EpMemory || !e.MemPerm.Has(perm) {
+			continue
+		}
+		if addr >= e.MemBase && addr+uint64(n) <= e.MemBase+e.MemSize {
+			return e.MemTile, addr, nil
+		}
+	}
+	return 0, 0, ErrNoPerm
+}
+
+// Deliver implements noc.Handler: the DTU's NoC-facing side.
+func (d *DTU) Deliver(pkt *noc.Packet) bool {
+	switch pl := pkt.Payload.(type) {
+	case msgPacket:
+		return d.deliverMsg(pkt, pl)
+	case creditPacket:
+		d.returnCredits(pl.DstEp)
+		return true
+	case respPacket:
+		pl.fn()
+		return true
+	case memReadReq:
+		d.serveMemRead(pkt, pl)
+		return true
+	case memWriteReq:
+		d.serveMemWrite(pkt, pl)
+		return true
+	case extConfigReq:
+		d.serveExtConfig(pkt, pl)
+		return true
+	case extInvalidateReq:
+		d.serveExtInvalidate(pkt, pl)
+		return true
+	case extReadEpsReq:
+		d.serveExtReadEps(pkt, pl)
+		return true
+	case extWriteEpsReq:
+		d.serveExtWriteEps(pkt, pl)
+		return true
+	default:
+		panic(fmt.Sprintf("dtu: tile %d received unknown payload %T", d.tile, pkt.Payload))
+	}
+}
+
+// respPacket carries a response closure back across the NoC; it executes at
+// the destination tile when the packet arrives.
+type respPacket struct {
+	fn func()
+}
+
+// respond sends a response packet of the given size back to dst.
+func (d *DTU) respond(dst noc.TileID, size int, fn func()) {
+	d.net.Send(&noc.Packet{Src: d.tile, Dst: dst, Size: size, Payload: respPacket{fn: fn}})
+}
+
+// deliverMsg handles an incoming message packet. The return value feeds the
+// NoC's flow control: false means "retry later".
+func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
+	e := &d.eps[pl.DstEp]
+	notPresent := e.Kind != EpReceive
+	if !notPresent && !d.virt && e.Act != d.curAct && e.Act != ActInvalid && e.Act != ActTileMux {
+		// Plain DTU (M³x): only the endpoints of the current activity (and
+		// of the resident multiplexer) are present; the message cannot be
+		// delivered (paper §3.8).
+		notPresent = true
+	}
+	if notPresent {
+		ack := pl.Ack
+		d.eng.After(d.costs.Proc, func() {
+			d.respond(pkt.Src, headerBytes, func() { ack(ErrNoRecipient) })
+		})
+		return true // consumed; the error travels back explicitly
+	}
+	slot := e.freeSlot()
+	if slot < 0 {
+		d.NackedDeliveries++
+		return false // receive buffer full: NoC-level backpressure
+	}
+	if d.virt && e.Act != d.curAct && e.Act != ActInvalid && len(d.coreReqs) >= coreReqDepth {
+		// Core-request queue overrun: absorbed by packet flow control
+		// (paper §3.8).
+		d.NackedDeliveries++
+		return false
+	}
+	bit := uint64(1) << uint(slot)
+	e.occupied |= bit
+	e.unread |= bit
+	e.slots[slot] = recvSlot{msg: pl.Msg}
+	if pl.CrdRet >= 0 {
+		// Piggybacked credit return (a reply acknowledges the request).
+		d.returnCredits(pl.CrdRet)
+	}
+	if e.Act == d.curAct || e.Act == ActInvalid {
+		d.curMsgs++
+	} else if d.virt {
+		d.pushCoreReq(e.Act)
+	}
+	if d.OnMsgArrived != nil {
+		act := e.Act
+		d.eng.After(d.costs.Proc, func() { d.OnMsgArrived(act) })
+	}
+	if pl.Ack != nil {
+		ack := pl.Ack
+		d.eng.After(d.costs.Proc, func() {
+			d.respond(pkt.Src, headerBytes, func() { ack(nil) })
+		})
+	}
+	return true
+}
+
+func (d *DTU) returnCredits(ep EpID) {
+	if ep < 0 || int(ep) >= NumEPs {
+		return
+	}
+	e := &d.eps[ep]
+	if e.Kind != EpSend || e.Credits >= e.MaxCredits {
+		return
+	}
+	e.Credits++
+	if d.OnCredits != nil {
+		d.OnCredits(ep)
+	}
+}
+
+func (d *DTU) pushCoreReq(act ActID) {
+	wasEmpty := len(d.coreReqs) == 0
+	d.coreReqs = append(d.coreReqs, act)
+	d.CoreReqsRaised++
+	if wasEmpty {
+		d.injectIrq()
+	}
+}
+
+func (d *DTU) injectIrq() {
+	if d.OnCoreReq == nil {
+		return
+	}
+	d.eng.After(d.costs.IrqLatency, func() {
+		if len(d.coreReqs) > 0 && d.OnCoreReq != nil {
+			d.OnCoreReq()
+		}
+	})
+}
+
+// serveMemRead handles a DMA read on a memory tile.
+func (d *DTU) serveMemRead(pkt *noc.Packet, pl memReadReq) {
+	if d.mem == nil {
+		panic(fmt.Sprintf("dtu: tile %d got memory read but has no DRAM", d.tile))
+	}
+	delay := d.mem.AccessDelay(pl.N)
+	src := pkt.Src
+	d.eng.After(delay, func() {
+		data := d.mem.ReadAt(pl.Off, pl.N)
+		d.respond(src, headerBytes+len(data), func() { pl.Reply(data) })
+	})
+}
+
+// serveMemWrite handles a DMA write on a memory tile.
+func (d *DTU) serveMemWrite(pkt *noc.Packet, pl memWriteReq) {
+	if d.mem == nil {
+		panic(fmt.Sprintf("dtu: tile %d got memory write but has no DRAM", d.tile))
+	}
+	delay := d.mem.AccessDelay(len(pl.Data))
+	src := pkt.Src
+	d.eng.After(delay, func() {
+		d.mem.WriteAt(pl.Off, pl.Data)
+		d.respond(src, headerBytes, pl.Ack)
+	})
+}

@@ -1,0 +1,207 @@
+package dtu
+
+import (
+	"fmt"
+
+	"m3v/internal/noc"
+	"m3v/internal/sim"
+)
+
+// This file implements the external interface: endpoint configuration by the
+// controller (paper §3.4). Only the controller holds the ability to send
+// external requests, which is what makes communication-channel establishment
+// a controller privilege. The controller configures its own DTU directly
+// (ConfigureLocal) and remote DTUs via NoC requests (ConfigureRemote).
+
+// extReqBytes approximates the wire size of one endpoint configuration.
+const extReqBytes = 32
+
+// ConfigureLocal installs an endpoint configuration on this DTU without NoC
+// traffic. Used by the controller for its own DTU and by the platform setup.
+func (d *DTU) ConfigureLocal(ep EpID, conf Endpoint) error {
+	if ep < 0 || int(ep) >= NumEPs {
+		return ErrInvalidArgs
+	}
+	if conf.Kind == EpReceive && conf.slots == nil {
+		conf.slots = make([]recvSlot, conf.Slots)
+	}
+	d.eps[ep] = conf
+	return nil
+}
+
+// InvalidateLocal clears an endpoint on this DTU. Pending messages in a
+// receive endpoint are dropped; in-flight senders will see ErrNoRecipient.
+func (d *DTU) InvalidateLocal(ep EpID) error {
+	if ep < 0 || int(ep) >= NumEPs {
+		return ErrInvalidArgs
+	}
+	d.eps[ep] = Endpoint{}
+	return nil
+}
+
+// ConfigureRemote sends an external configuration request to the DTU on the
+// given tile and blocks until it is acknowledged. Must be called from the
+// controller's process.
+func (d *DTU) ConfigureRemote(p *sim.Proc, tile noc.TileID, ep EpID, conf Endpoint) error {
+	done := false
+	var result error
+	req := extConfigReq{
+		Ep:   ep,
+		Conf: conf,
+		Ack: func(err error) {
+			result = err
+			done = true
+			p.Wake()
+		},
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+	})
+	for !done {
+		p.Park()
+	}
+	return result
+}
+
+// InvalidateRemote clears an endpoint on a remote DTU.
+func (d *DTU) InvalidateRemote(p *sim.Proc, tile noc.TileID, ep EpID) error {
+	done := false
+	var result error
+	req := extInvalidateReq{
+		Ep: ep,
+		Ack: func(err error) {
+			result = err
+			done = true
+			p.Wake()
+		},
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+	})
+	for !done {
+		p.Park()
+	}
+	return result
+}
+
+// ReadEpsRemote fetches count endpoint registers starting at first from a
+// remote DTU. The M³x controller uses this to save DTU state during a remote
+// context switch.
+func (d *DTU) ReadEpsRemote(p *sim.Proc, tile noc.TileID, first, count int) []Endpoint {
+	var eps []Endpoint
+	done := false
+	req := extReadEpsReq{
+		First: first,
+		Count: count,
+		Reply: func(e []Endpoint) {
+			eps = e
+			done = true
+			p.Wake()
+		},
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+	})
+	for !done {
+		p.Park()
+	}
+	return eps
+}
+
+// WriteEpsRemote bulk-writes endpoint state to a remote DTU. The M³x
+// controller uses it to restore an activity's saved DTU state during a
+// remote context switch; the transfer size models the real cost.
+func (d *DTU) WriteEpsRemote(p *sim.Proc, tile noc.TileID, eps []EpConf) {
+	done := false
+	req := extWriteEpsReq{
+		Eps: eps,
+		Ack: func() {
+			done = true
+			p.Wake()
+		},
+	}
+	size := extReqBytes * len(eps)
+	for _, ec := range eps {
+		// Buffered messages travel with the state.
+		for i := range ec.Conf.slots {
+			if ec.Conf.occupied&(1<<uint(i)) != 0 {
+				size += headerBytes + len(ec.Conf.slots[i].msg.Data)
+			}
+		}
+	}
+	d.eng.After(d.costs.Proc, func() {
+		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: size, Payload: req})
+	})
+	for !done {
+		p.Park()
+	}
+}
+
+func (d *DTU) serveExtWriteEps(pkt *noc.Packet, pl extWriteEpsReq) {
+	for _, ec := range pl.Eps {
+		if err := d.ConfigureLocal(ec.Ep, ec.Conf); err != nil {
+			panic(fmt.Sprintf("dtu: bulk EP write failed: %v", err))
+		}
+	}
+	ack := pl.Ack
+	d.eng.After(d.costs.Proc, func() {
+		d.respond(pkt.Src, headerBytes, ack)
+	})
+}
+
+func (d *DTU) serveExtConfig(pkt *noc.Packet, pl extConfigReq) {
+	err := d.ConfigureLocal(pl.Ep, pl.Conf)
+	ack := pl.Ack
+	d.eng.After(d.costs.Proc, func() {
+		d.respond(pkt.Src, headerBytes, func() { ack(err) })
+	})
+}
+
+func (d *DTU) serveExtInvalidate(pkt *noc.Packet, pl extInvalidateReq) {
+	err := d.InvalidateLocal(pl.Ep)
+	ack := pl.Ack
+	d.eng.After(d.costs.Proc, func() {
+		d.respond(pkt.Src, headerBytes, func() { ack(err) })
+	})
+}
+
+func (d *DTU) serveExtReadEps(pkt *noc.Packet, pl extReadEpsReq) {
+	first, count := pl.First, pl.Count
+	if first < 0 {
+		first = 0
+	}
+	if first+count > NumEPs {
+		count = NumEPs - first
+	}
+	out := make([]Endpoint, count)
+	copy(out, d.eps[first:first+count])
+	reply := pl.Reply
+	d.eng.After(d.costs.Proc, func() {
+		d.respond(pkt.Src, extReqBytes*count, func() { reply(out) })
+	})
+}
+
+// SetCurAct initializes CUR_ACT during platform boot (before TileMux runs).
+// It is not part of any hardware interface.
+func (d *DTU) SetCurAct(act ActID) { d.curAct = act }
+
+// ResetCur installs a current activity together with its unread-message
+// count. The M³x RCTMux uses it after a restore, where the count is
+// recomputed from the restored receive endpoints.
+func (d *DTU) ResetCur(act ActID, msgs int) {
+	d.curAct = act
+	d.curMsgs = msgs
+}
+
+// UnreadOf sums the unread messages across all receive endpoints owned by
+// the given activity (RCTMux restore path).
+func (d *DTU) UnreadOf(act ActID) int {
+	n := 0
+	for i := range d.eps {
+		e := &d.eps[i]
+		if e.Kind == EpReceive && e.Act == act {
+			n += e.UnreadCount()
+		}
+	}
+	return n
+}

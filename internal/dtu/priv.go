@@ -1,0 +1,78 @@
+package dtu
+
+import "m3v/internal/sim"
+
+// This file implements the privileged interface, present only on the vDTU
+// and mapped only for TileMux (paper §3.4–§3.8). Calling a privileged
+// operation on a non-virtualized DTU panics: it is a model bug, equivalent
+// to accessing unmapped MMIO.
+
+func (d *DTU) requirePriv() {
+	if !d.virt {
+		panic("dtu: privileged interface on non-virtualized DTU")
+	}
+}
+
+// SwitchAct atomically installs a new current activity (with its saved
+// unread-message count) and returns the previous CUR_ACT contents. The
+// atomicity guarantees that no message notification interleaves with the
+// switch, which is what closes the lost-wakeup window for TileMux's blocking
+// decision (paper §3.7).
+func (d *DTU) SwitchAct(p *sim.Proc, act ActID, msgs int) (oldAct ActID, oldMsgs int) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	oldAct, oldMsgs = d.curAct, d.curMsgs
+	d.curAct, d.curMsgs = act, msgs
+	return oldAct, oldMsgs
+}
+
+// InsertTLB installs a translation through the privileged interface after
+// TileMux resolved a TLB miss reported by a failing command (paper §3.6).
+func (d *DTU) InsertTLB(p *sim.Proc, act ActID, vaddr, paddr uint64, perm Perm) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	d.tlb.Insert(act, vaddr, paddr, perm)
+}
+
+// InvalidateTLBPage drops one translation (page-table update).
+func (d *DTU) InvalidateTLBPage(p *sim.Proc, act ActID, vaddr uint64) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	d.tlb.InvalidatePage(act, vaddr)
+}
+
+// InvalidateTLBAct drops all translations of one activity.
+func (d *DTU) InvalidateTLBAct(p *sim.Proc, act ActID) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	d.tlb.InvalidateAct(act)
+}
+
+// FetchCoreReq reads the head of the core-request queue: the activity that
+// received a message while not running. ok is false if the queue is empty.
+// The request stays queued until AckCoreReq.
+func (d *DTU) FetchCoreReq(p *sim.Proc) (act ActID, ok bool) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	if len(d.coreReqs) == 0 {
+		return ActInvalid, false
+	}
+	return d.coreReqs[0], true
+}
+
+// AckCoreReq pops the head core request. If more requests are queued, the
+// vDTU injects another interrupt (paper §3.8).
+func (d *DTU) AckCoreReq(p *sim.Proc) {
+	d.requirePriv()
+	d.charge(p, d.costs.PrivCmd)
+	if len(d.coreReqs) == 0 {
+		return
+	}
+	d.coreReqs = d.coreReqs[1:]
+	if len(d.coreReqs) > 0 {
+		d.injectIrq()
+	}
+}
+
+// PendingCoreReqs reports the queue depth, for tests.
+func (d *DTU) PendingCoreReqs() int { return len(d.coreReqs) }

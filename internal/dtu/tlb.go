@@ -1,0 +1,102 @@
+package dtu
+
+// PageSize is the platform page size. Transfers are restricted to a single
+// page (paper §3.6), which lets the vDTU check the TLB exactly once per
+// command.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// tlbEntries is the capacity of the software-loaded TLB.
+const tlbEntries = 32
+
+// tlbKey identifies a translation: virtual page of one activity.
+type tlbKey struct {
+	act   ActID
+	vpage uint64
+}
+
+// tlbVal is the cached translation.
+type tlbVal struct {
+	ppage uint64
+	perm  Perm
+}
+
+// TLB is the vDTU's software-loaded translation lookaside buffer. TileMux
+// fills it through the privileged interface; commands that miss fail with
+// ErrTLBMiss instead of injecting a page walk (paper §3.6: "we decided
+// against interrupt injections in case of a TLB miss").
+type TLB struct {
+	entries map[tlbKey]tlbVal
+	fifo    []tlbKey // eviction order
+
+	// Hits and Misses count lookups, for tests and reports.
+	Hits, Misses int64
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB() *TLB {
+	return &TLB{entries: make(map[tlbKey]tlbVal, tlbEntries)}
+}
+
+// Lookup translates a virtual address of the given activity, requiring perm.
+// It reports the physical address and whether the translation was present
+// with sufficient permissions. An entry with insufficient permissions is
+// treated as a miss, forcing a TileMux upgrade.
+func (t *TLB) Lookup(act ActID, vaddr uint64, perm Perm) (paddr uint64, ok bool) {
+	v, found := t.entries[tlbKey{act, vaddr >> PageShift}]
+	if !found || !v.perm.Has(perm) {
+		t.Misses++
+		return 0, false
+	}
+	t.Hits++
+	return v.ppage<<PageShift | vaddr&(PageSize-1), true
+}
+
+// Insert adds a translation, evicting the oldest entry when full. Called by
+// TileMux through the privileged interface.
+func (t *TLB) Insert(act ActID, vaddr, paddr uint64, perm Perm) {
+	k := tlbKey{act, vaddr >> PageShift}
+	if _, exists := t.entries[k]; !exists {
+		if len(t.entries) >= tlbEntries {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			delete(t.entries, victim)
+		}
+		t.fifo = append(t.fifo, k)
+	}
+	t.entries[k] = tlbVal{ppage: paddr >> PageShift, perm: perm}
+}
+
+// InvalidatePage removes one translation.
+func (t *TLB) InvalidatePage(act ActID, vaddr uint64) {
+	k := tlbKey{act, vaddr >> PageShift}
+	if _, ok := t.entries[k]; !ok {
+		return
+	}
+	delete(t.entries, k)
+	for i, f := range t.fifo {
+		if f == k {
+			t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// InvalidateAct removes all translations of one activity (used when an
+// activity exits or its address space changes wholesale).
+func (t *TLB) InvalidateAct(act ActID) {
+	keep := t.fifo[:0]
+	for _, k := range t.fifo {
+		if k.act == act {
+			delete(t.entries, k)
+		} else {
+			keep = append(keep, k)
+		}
+	}
+	t.fifo = keep
+}
+
+// Len reports the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }

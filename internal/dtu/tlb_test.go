@@ -1,0 +1,101 @@
+package dtu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBLookupInsert(t *testing.T) {
+	tlb := NewTLB()
+	if _, ok := tlb.Lookup(1, 0x5000, PermR); ok {
+		t.Error("lookup in empty TLB hit")
+	}
+	tlb.Insert(1, 0x5000, 0x84000, PermRW)
+	pa, ok := tlb.Lookup(1, 0x5123, PermR)
+	if !ok || pa != 0x84123 {
+		t.Errorf("lookup = (%#x,%v), want (0x84123,true)", pa, ok)
+	}
+	// Different activity, same page: miss.
+	if _, ok := tlb.Lookup(2, 0x5000, PermR); ok {
+		t.Error("cross-activity lookup hit")
+	}
+}
+
+func TestTLBPermissionUpgradeMiss(t *testing.T) {
+	tlb := NewTLB()
+	tlb.Insert(1, 0x5000, 0x84000, PermR)
+	if _, ok := tlb.Lookup(1, 0x5000, PermW); ok {
+		t.Error("write lookup on read-only entry hit")
+	}
+	tlb.Insert(1, 0x5000, 0x84000, PermRW)
+	if _, ok := tlb.Lookup(1, 0x5000, PermW); !ok {
+		t.Error("write lookup after upgrade missed")
+	}
+	if tlb.Len() != 1 {
+		t.Errorf("len = %d, want 1 (upgrade must not duplicate)", tlb.Len())
+	}
+}
+
+func TestTLBFIFOEviction(t *testing.T) {
+	tlb := NewTLB()
+	for i := 0; i < tlbEntries+1; i++ {
+		tlb.Insert(1, uint64(i)<<PageShift, uint64(i)<<PageShift, PermR)
+	}
+	if tlb.Len() != tlbEntries {
+		t.Errorf("len = %d, want %d", tlb.Len(), tlbEntries)
+	}
+	// Entry 0 is the FIFO victim.
+	if _, ok := tlb.Lookup(1, 0, PermR); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := tlb.Lookup(1, 1<<PageShift, PermR); !ok {
+		t.Error("second-oldest entry was evicted")
+	}
+}
+
+func TestTLBInvalidateAct(t *testing.T) {
+	tlb := NewTLB()
+	tlb.Insert(1, 0x1000, 0x1000, PermR)
+	tlb.Insert(2, 0x1000, 0x2000, PermR)
+	tlb.Insert(1, 0x2000, 0x3000, PermR)
+	tlb.InvalidateAct(1)
+	if tlb.Len() != 1 {
+		t.Errorf("len after invalidate = %d, want 1", tlb.Len())
+	}
+	if _, ok := tlb.Lookup(2, 0x1000, PermR); !ok {
+		t.Error("other activity's entry was invalidated")
+	}
+}
+
+func TestTLBInvalidatePage(t *testing.T) {
+	tlb := NewTLB()
+	tlb.Insert(1, 0x1000, 0x1000, PermR)
+	tlb.InvalidatePage(1, 0x1234) // same page
+	if tlb.Len() != 0 {
+		t.Errorf("len = %d, want 0", tlb.Len())
+	}
+	tlb.InvalidatePage(1, 0x9999) // absent: no-op
+}
+
+// TestTLBTranslationProperty: for any inserted mapping, lookups within the
+// page translate offset-exactly, and lookups outside miss.
+func TestTLBTranslationProperty(t *testing.T) {
+	f := func(act uint8, vp, pp uint16, off uint16) bool {
+		tlb := NewTLB()
+		vaddr := uint64(vp) << PageShift
+		paddr := uint64(pp) << PageShift
+		tlb.Insert(ActID(act), vaddr, paddr, PermRW)
+		o := uint64(off) % PageSize
+		got, ok := tlb.Lookup(ActID(act), vaddr+o, PermR)
+		if !ok || got != paddr+o {
+			return false
+		}
+		// A different page must miss (unless it happens to equal vp).
+		other := (uint64(vp) + 1) << PageShift
+		_, ok = tlb.Lookup(ActID(act), other, PermR)
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package flac implements a lossless audio codec in the style of FLAC: the
+// libFLAC substitute for the paper's voice-assistant compressor (§6.5.1).
+// Frames of PCM samples are encoded with the best of FLAC's fixed linear
+// predictors (orders 0-4) and Rice-coded residuals, with a verbatim
+// fallback. Decoding is the exact inverse; the codec is genuinely lossless.
+package flac
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameSize is the number of samples per frame.
+const FrameSize = 4096
+
+// maxOrder is the highest fixed-predictor order.
+const maxOrder = 4
+
+// magic identifies an encoded stream.
+var magic = [4]byte{'g', 'F', 'L', 'C'}
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("flac: corrupt stream")
+
+// Encode compresses PCM samples losslessly.
+func Encode(samples []int16) []byte {
+	var out []byte
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(samples)))
+	for off := 0; off < len(samples); off += FrameSize {
+		end := off + FrameSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		out = appendFrame(out, samples[off:end])
+	}
+	return out
+}
+
+// Decode decompresses an encoded stream.
+func Decode(data []byte) ([]int16, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != magic {
+		return nil, ErrCorrupt
+	}
+	total := int(binary.LittleEndian.Uint32(data[4:]))
+	br := &bitReader{data: data[8:]}
+	out := make([]int16, 0, total)
+	for len(out) < total {
+		n := FrameSize
+		if rem := total - len(out); n > rem {
+			n = rem
+		}
+		frame, err := decodeFrame(br, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}
+
+// appendFrame encodes one frame: it evaluates all fixed predictors and
+// picks the cheapest representation.
+func appendFrame(out []byte, frame []int16) []byte {
+	bestOrder := -1 // verbatim
+	bestBits := 16 * len(frame)
+	var bestResiduals []int32
+	var bestK int
+	for order := 0; order <= maxOrder && order < len(frame); order++ {
+		res := residuals(frame, order)
+		k := optimalRiceK(res)
+		bits := order*16 + riceBits(res, k)
+		if bits < bestBits {
+			bestBits = bits
+			bestOrder = order
+			bestResiduals = res
+			bestK = k
+		}
+	}
+	bw := &bitWriter{}
+	if bestOrder < 0 {
+		bw.writeBits(uint64(15), 4) // verbatim marker
+		for _, s := range frame {
+			bw.writeBits(uint64(uint16(s)), 16)
+		}
+	} else {
+		bw.writeBits(uint64(bestOrder), 4)
+		bw.writeBits(uint64(bestK), 5)
+		// Warmup samples verbatim.
+		for i := 0; i < bestOrder; i++ {
+			bw.writeBits(uint64(uint16(frame[i])), 16)
+		}
+		for _, r := range bestResiduals {
+			bw.writeRice(r, bestK)
+		}
+	}
+	return append(out, bw.bytes()...)
+}
+
+func decodeFrame(br *bitReader, n int) ([]int16, error) {
+	br.align()
+	marker, err := br.readBits(4)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]int16, n)
+	if marker == 15 {
+		for i := range frame {
+			v, err := br.readBits(16)
+			if err != nil {
+				return nil, err
+			}
+			frame[i] = int16(uint16(v))
+		}
+		return frame, nil
+	}
+	order := int(marker)
+	if order > maxOrder || order > n {
+		return nil, ErrCorrupt
+	}
+	k64, err := br.readBits(5)
+	if err != nil {
+		return nil, err
+	}
+	k := int(k64)
+	for i := 0; i < order; i++ {
+		v, err := br.readBits(16)
+		if err != nil {
+			return nil, err
+		}
+		frame[i] = int16(uint16(v))
+	}
+	for i := order; i < n; i++ {
+		r, err := br.readRice(k)
+		if err != nil {
+			return nil, err
+		}
+		pred := predict(frame, i, order)
+		v := pred + int64(r)
+		if v < -32768 || v > 32767 {
+			return nil, ErrCorrupt
+		}
+		frame[i] = int16(v)
+	}
+	return frame, nil
+}
+
+// predict evaluates FLAC's fixed predictor of the given order at index i.
+func predict(s []int16, i, order int) int64 {
+	switch order {
+	case 0:
+		return 0
+	case 1:
+		return int64(s[i-1])
+	case 2:
+		return 2*int64(s[i-1]) - int64(s[i-2])
+	case 3:
+		return 3*int64(s[i-1]) - 3*int64(s[i-2]) + int64(s[i-3])
+	default:
+		return 4*int64(s[i-1]) - 6*int64(s[i-2]) + 4*int64(s[i-3]) - int64(s[i-4])
+	}
+}
+
+// residuals computes prediction residuals for a frame.
+func residuals(frame []int16, order int) []int32 {
+	res := make([]int32, 0, len(frame)-order)
+	for i := order; i < len(frame); i++ {
+		res = append(res, int32(int64(frame[i])-predict(frame, i, order)))
+	}
+	return res
+}
+
+// optimalRiceK estimates the Rice parameter from the mean magnitude.
+func optimalRiceK(res []int32) int {
+	if len(res) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, r := range res {
+		sum += uint64(zigzag(r))
+	}
+	mean := sum / uint64(len(res))
+	k := 0
+	for mean > 0 && k < 30 {
+		mean >>= 1
+		k++
+	}
+	return k
+}
+
+// riceBits reports the encoded size of residuals with parameter k.
+func riceBits(res []int32, k int) int {
+	bits := 9 // order + k header
+	for _, r := range res {
+		u := zigzag(r)
+		bits += int(u>>uint(k)) + 1 + k
+	}
+	return bits
+}
+
+// zigzag maps signed residuals to unsigned for Rice coding.
+func zigzag(v int32) uint32 { return uint32((v << 1) ^ (v >> 31)) }
+
+func unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// --- bit I/O ------------------------------------------------------------------
+
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	bits uint
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.bits
+		if take > n {
+			take = n
+		}
+		w.cur |= ((v >> (n - take)) & ((1 << take) - 1)) << (8 - w.bits - take)
+		w.bits += take
+		n -= take
+		if w.bits == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.bits = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) writeRice(v int32, k int) {
+	u := zigzag(v)
+	q := u >> uint(k)
+	for i := uint32(0); i < q; i++ {
+		w.writeBits(0, 1)
+	}
+	w.writeBits(1, 1)
+	if k > 0 {
+		w.writeBits(uint64(u)&((1<<uint(k))-1), uint(k))
+	}
+}
+
+func (w *bitWriter) bytes() []byte {
+	out := w.buf
+	if w.bits > 0 {
+		out = append(out, byte(w.cur))
+	}
+	return out
+}
+
+type bitReader struct {
+	data []byte
+	pos  int  // byte position
+	bit  uint // bit position within the current byte
+}
+
+// align skips to the next byte boundary (frames are byte-aligned).
+func (r *bitReader) align() {
+	if r.bit != 0 {
+		r.pos++
+		r.bit = 0
+	}
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.data) {
+			return 0, ErrCorrupt
+		}
+		take := 8 - r.bit
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.data[r.pos]>>(8-r.bit-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.bit += take
+		n -= take
+		if r.bit == 8 {
+			r.pos++
+			r.bit = 0
+		}
+	}
+	return v, nil
+}
+
+func (r *bitReader) readRice(k int) (int32, error) {
+	q := uint32(0)
+	for {
+		b, err := r.readBits(1)
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		q++
+		if q > 1<<24 {
+			return 0, fmt.Errorf("%w: runaway rice code", ErrCorrupt)
+		}
+	}
+	u := q << uint(k)
+	if k > 0 {
+		low, err := r.readBits(uint(k))
+		if err != nil {
+			return 0, err
+		}
+		u |= uint32(low)
+	}
+	return unzigzag(u), nil
+}
+
+// EncodeCostCycles estimates the CPU cost of encoding n samples on the
+// modelled cores (fixed-predictor evaluation plus Rice coding ~ tens of
+// cycles per sample).
+func EncodeCostCycles(n int) int64 { return int64(n) * 38 }

@@ -1,0 +1,171 @@
+package flac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sine(n int, freq float64) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(12000 * math.Sin(2*math.Pi*freq*float64(i)/16000))
+	}
+	return out
+}
+
+func TestRoundTripSine(t *testing.T) {
+	in := sine(10000, 440)
+	enc := Encode(in)
+	out, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("sample %d: %d != %d (lossless violated)", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCompressesTonalSignal(t *testing.T) {
+	in := sine(FrameSize*4, 440)
+	enc := Encode(in)
+	raw := len(in) * 2
+	ratio := float64(len(enc)) / float64(raw)
+	t.Logf("tonal compression ratio: %.3f (%d -> %d bytes)", ratio, raw, len(enc))
+	if ratio > 0.8 {
+		t.Errorf("ratio = %.3f, want < 0.8 for a pure tone", ratio)
+	}
+}
+
+func TestWhiteNoiseDoesNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]int16, FrameSize*2)
+	for i := range in {
+		in[i] = int16(rng.Intn(65536) - 32768)
+	}
+	enc := Encode(in)
+	out, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("noise roundtrip failed at %d", i)
+		}
+	}
+	// Verbatim fallback plus headers: at most a few percent overhead.
+	if len(enc) > len(in)*2+len(in)/8+64 {
+		t.Errorf("noise expanded too much: %d -> %d", len(in)*2, len(enc))
+	}
+}
+
+func TestEmptyAndShortInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 100} {
+		in := sine(n, 300)
+		out, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d samples", n, len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("n=%d sample %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestCorruptStreamRejected(t *testing.T) {
+	if _, err := Decode([]byte("nonsense")); err == nil {
+		t.Error("garbage decoded without error")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil decoded without error")
+	}
+	enc := Encode(sine(100, 200))
+	if _, err := Decode(enc[:6]); err == nil {
+		t.Error("truncated header decoded")
+	}
+}
+
+// TestRoundTripProperty: arbitrary sample vectors survive the codec.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3 * FrameSize)
+		in := make([]int16, n)
+		switch kind % 3 {
+		case 0: // smooth
+			for i := range in {
+				in[i] = int16(8000 * math.Sin(float64(i)/20))
+			}
+		case 1: // noisy
+			for i := range in {
+				in[i] = int16(rng.Intn(65536) - 32768)
+			}
+		case 2: // mixed: ramps with spikes
+			for i := range in {
+				in[i] = int16(i % 251 * 13)
+				if rng.Intn(50) == 0 {
+					in[i] = int16(rng.Intn(65536) - 32768)
+				}
+			}
+		}
+		out, err := Decode(Encode(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitIO(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0b101, 3)
+	w.writeBits(0xABCD, 16)
+	w.writeBits(1, 1)
+	data := w.bytes()
+	r := &bitReader{data: data}
+	if v, _ := r.readBits(3); v != 0b101 {
+		t.Errorf("3 bits = %b", v)
+	}
+	if v, _ := r.readBits(16); v != 0xABCD {
+		t.Errorf("16 bits = %x", v)
+	}
+	if v, _ := r.readBits(1); v != 1 {
+		t.Errorf("1 bit = %d", v)
+	}
+}
+
+func TestRiceCoding(t *testing.T) {
+	for _, k := range []int{0, 1, 4, 9} {
+		w := &bitWriter{}
+		vals := []int32{0, 1, -1, 5, -17, 100, -1000, 32767, -32768}
+		for _, v := range vals {
+			w.writeRice(v, k)
+		}
+		r := &bitReader{data: w.bytes()}
+		for _, want := range vals {
+			got, err := r.readRice(k)
+			if err != nil || got != want {
+				t.Fatalf("k=%d: rice(%d) = (%d,%v)", k, want, got, err)
+			}
+		}
+	}
+}

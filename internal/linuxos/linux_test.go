@@ -1,0 +1,196 @@
+package linuxos
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"m3v/internal/sim"
+)
+
+func run(t *testing.T, fn func(p *Proc)) (*Machine, *Proc) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := New(eng, sim.MHz(80)) // the FPGA's BOOM core
+	p := m.Spawn("bench", fn)
+	eng.RunUntil(600 * sim.Second)
+	t.Cleanup(func() { eng.Shutdown() })
+	if !p.Done() {
+		t.Fatal("linux process did not finish")
+	}
+	return m, p
+}
+
+func TestNoopSyscallCost(t *testing.T) {
+	var per sim.Time
+	_, _ = run(t, func(p *Proc) {
+		start := p.Now()
+		for i := 0; i < 100; i++ {
+			p.SyscallNoop()
+		}
+		per = (p.Now() - start) / 100
+	})
+	// Paper Figure 6: a Linux no-op syscall costs ~2k cycles at 80 MHz
+	// (~25us, on the same level as an M³v remote RPC).
+	if per < 20*sim.Microsecond || per > 40*sim.Microsecond {
+		t.Errorf("no-op syscall = %v, want 20-40us", per)
+	}
+}
+
+func TestYieldAlternatesProcesses(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.MHz(80))
+	var order []string
+	mk := func(name string) *Proc {
+		return m.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Yield()
+			}
+		})
+	}
+	a := mk("a")
+	b := mk("b")
+	eng.RunUntil(10 * sim.Second)
+	defer eng.Shutdown()
+	if !a.Done() || !b.Done() {
+		t.Fatal("processes did not finish")
+	}
+	want := "ababab"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Errorf("order = %q, want %q", got, want)
+	}
+}
+
+func TestTmpfsRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("linux"), 10000)
+	_, _ = run(t, func(p *Proc) {
+		fd := p.Create("/tmp/f")
+		for off := 0; off < len(payload); off += 4096 {
+			end := off + 4096
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := p.Write(fd, payload[off:end]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		p.Close(fd)
+		if size := p.Stat("/tmp/f"); size != len(payload) {
+			t.Errorf("stat = %d, want %d", size, len(payload))
+		}
+		rd := p.Open("/tmp/f")
+		var got []byte
+		buf := make([]byte, 4096)
+		for {
+			n, err := p.Read(rd, buf)
+			got = append(got, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("round trip mismatch")
+		}
+		p.Unlink("/tmp/f")
+		if p.Stat("/tmp/f") != -1 {
+			t.Error("file survived unlink")
+		}
+	})
+}
+
+func TestReadFasterThanWrite(t *testing.T) {
+	// Paper §6.3: "on both M3v and Linux, writes are much slower than
+	// reads, because blocks need to be allocated, cleared, and appended".
+	const size = 2 << 20
+	var writeT, readT sim.Time
+	_, _ = run(t, func(p *Proc) {
+		buf := make([]byte, 4096)
+		fd := p.Create("/f")
+		t0 := p.Now()
+		for i := 0; i < size/4096; i++ {
+			p.Write(fd, buf)
+		}
+		writeT = p.Now() - t0
+		p.Close(fd)
+		rd := p.Open("/f")
+		t0 = p.Now()
+		for {
+			if _, err := p.Read(rd, buf); err == io.EOF {
+				break
+			}
+		}
+		readT = p.Now() - t0
+	})
+	writeMiBs := float64(size) / (1 << 20) / writeT.Seconds()
+	readMiBs := float64(size) / (1 << 20) / readT.Seconds()
+	t.Logf("linux tmpfs: read %.1f MiB/s, write %.1f MiB/s", readMiBs, writeMiBs)
+	if readMiBs <= 1.5*writeMiBs {
+		t.Errorf("read (%0.1f) should be much faster than write (%0.1f)", readMiBs, writeMiBs)
+	}
+	// Figure 7 anchors at 80 MHz: Linux read ~150 MiB/s, write ~50 MiB/s.
+	if readMiBs < 80 || readMiBs > 260 {
+		t.Errorf("read throughput %.1f MiB/s outside the calibration band", readMiBs)
+	}
+	if writeMiBs < 25 || writeMiBs > 110 {
+		t.Errorf("write throughput %.1f MiB/s outside the calibration band", writeMiBs)
+	}
+}
+
+func TestUDPEchoLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, sim.MHz(80))
+	m.PeerEcho = func(b []byte) []byte { return b }
+	var rtt sim.Time
+	p := m.Spawn("udp", func(p *Proc) {
+		// Warmup.
+		p.Sendto([]byte{0})
+		p.Recvfrom()
+		start := p.Now()
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			p.Sendto([]byte{1})
+			if got := p.Recvfrom(); len(got) != 1 {
+				t.Errorf("echo payload = %v", got)
+				return
+			}
+		}
+		rtt = (p.Now() - start) / 50
+	})
+	eng.RunUntil(60 * sim.Second)
+	defer eng.Shutdown()
+	if !p.Done() {
+		t.Fatal("udp process did not finish")
+	}
+	t.Logf("linux UDP RTT: %v", rtt)
+	// Figure 8 anchor: Linux 1-byte UDP latency in the few-hundred-us range
+	// on the 80 MHz core.
+	if rtt < 150*sim.Microsecond || rtt > 600*sim.Microsecond {
+		t.Errorf("UDP RTT = %v, want 150-600us", rtt)
+	}
+}
+
+func TestRusageSplitsUserSystem(t *testing.T) {
+	_, p := run(t, func(p *Proc) {
+		p.Compute(8000)
+		for i := 0; i < 10; i++ {
+			p.SyscallNoop()
+		}
+	})
+	user, sys := p.Rusage()
+	if user < sim.MHz(80).Cycles(8000) {
+		t.Errorf("user = %v, want >= 100us", user)
+	}
+	if sys < sim.MHz(80).Cycles(10*1500) {
+		t.Errorf("sys = %v, want >= 10 syscalls", sys)
+	}
+}

@@ -1,0 +1,188 @@
+package m3fs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/core"
+	"m3v/internal/m3fs"
+	"m3v/internal/sim"
+)
+
+// runFS boots a system with an m3fs server on one tile and runs the client
+// program on another.
+func runFS(t *testing.T, client func(t *testing.T, c *m3fs.Client, a *activity.Activity)) {
+	t.Helper()
+	sys := core.New(core.FPGAConfig())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+	root := sys.SpawnRoot(procs[0], "fs-client", nil, func(a *activity.Activity) {
+		tiles := core.TileSels(a)
+		if _, err := m3fs.Spawn(a, tiles[procs[1]], procs[1], 16<<20); err != nil {
+			t.Errorf("spawn fs: %v", err)
+			return
+		}
+		c, err := m3fs.NewClient(a)
+		if err != nil {
+			t.Errorf("client: %v", err)
+			return
+		}
+		client(t, c, a)
+	})
+	sys.Run(120 * sim.Second)
+	if !root.Done() {
+		t.Fatal("client did not finish")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	runFS(t, func(t *testing.T, c *m3fs.Client, a *activity.Activity) {
+		payload := make([]byte, 300_000) // spans two 256 KiB extents
+		rng := rand.New(rand.NewSource(42))
+		rng.Read(payload)
+
+		f, err := c.Open("/data.bin", m3fs.FlagW|m3fs.FlagCreate)
+		if err != nil {
+			t.Errorf("open w: %v", err)
+			return
+		}
+		// Write in 4 KiB chunks like the paper's benchmark.
+		for off := 0; off < len(payload); off += 4096 {
+			end := off + 4096
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := f.Write(payload[off:end]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+
+		size, isDir, err := c.Stat("/data.bin")
+		if err != nil || isDir || size != uint64(len(payload)) {
+			t.Errorf("stat = (%d,%v,%v), want (%d,false,nil)", size, isDir, err, len(payload))
+			return
+		}
+
+		g, err := c.Open("/data.bin", m3fs.FlagR)
+		if err != nil {
+			t.Errorf("open r: %v", err)
+			return
+		}
+		got, err := g.ReadAll(4096)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip mismatch: got %d bytes", len(got))
+		}
+		_ = g.Close()
+	})
+}
+
+func TestDirectoriesAndUnlink(t *testing.T) {
+	runFS(t, func(t *testing.T, c *m3fs.Client, a *activity.Activity) {
+		if err := c.Mkdir("/dir"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := c.Mkdir("/dir"); err == nil {
+			t.Error("duplicate mkdir succeeded")
+		}
+		for _, name := range []string{"a.txt", "b.txt", "c.txt"} {
+			f, err := c.Open("/dir/"+name, m3fs.FlagW|m3fs.FlagCreate)
+			if err != nil {
+				t.Errorf("create %s: %v", name, err)
+				return
+			}
+			if _, err := f.Write([]byte(name)); err != nil {
+				t.Errorf("write %s: %v", name, err)
+			}
+			_ = f.Close()
+		}
+		names, err := c.ReadDir("/dir")
+		if err != nil || len(names) != 3 {
+			t.Errorf("readdir = %v, %v", names, err)
+			return
+		}
+		if names[0] != "a.txt" || names[2] != "c.txt" {
+			t.Errorf("names = %v", names)
+		}
+		if err := c.Unlink("/dir/b.txt"); err != nil {
+			t.Errorf("unlink: %v", err)
+		}
+		names, _ = c.ReadDir("/dir")
+		if len(names) != 2 {
+			t.Errorf("after unlink names = %v", names)
+		}
+		if _, _, err := c.Stat("/dir/b.txt"); err == nil {
+			t.Error("stat of unlinked file succeeded")
+		}
+	})
+}
+
+func TestTruncateReusesSpace(t *testing.T) {
+	runFS(t, func(t *testing.T, c *m3fs.Client, a *activity.Activity) {
+		// Repeatedly rewriting the same file must not leak disk space: use
+		// a payload near the 16 MiB disk so leaks would hit ENoSpace.
+		payload := bytes.Repeat([]byte("x"), 4<<20)
+		for i := 0; i < 8; i++ {
+			f, err := c.Open("/big", m3fs.FlagW|m3fs.FlagCreate|m3fs.FlagTrunc)
+			if err != nil {
+				t.Errorf("open %d: %v", i, err)
+				return
+			}
+			if _, err := f.Write(payload); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			_ = f.Close()
+		}
+	})
+}
+
+func TestSeekAndPartialReads(t *testing.T) {
+	runFS(t, func(t *testing.T, c *m3fs.Client, a *activity.Activity) {
+		f, _ := c.Open("/f", m3fs.FlagW|m3fs.FlagCreate)
+		data := make([]byte, 500_000)
+		for i := range data {
+			data[i] = byte(i / 1000)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		_ = f.Close()
+
+		g, _ := c.Open("/f", m3fs.FlagR)
+		if err := g.Seek(400_000); err != nil {
+			t.Errorf("seek: %v", err)
+			return
+		}
+		buf := make([]byte, 1000)
+		n, err := g.Read(buf)
+		if err != nil || n == 0 {
+			t.Errorf("read after seek = (%d,%v)", n, err)
+			return
+		}
+		if buf[0] != data[400_000] {
+			t.Errorf("seek read byte = %d, want %d", buf[0], data[400_000])
+		}
+		_ = g.Close()
+	})
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	runFS(t, func(t *testing.T, c *m3fs.Client, a *activity.Activity) {
+		if _, err := c.Open("/nope", m3fs.FlagR); err == nil {
+			t.Error("open of missing file succeeded")
+		}
+	})
+}

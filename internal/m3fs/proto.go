@@ -1,0 +1,80 @@
+// Package m3fs implements the extent-based in-memory file system of M³v and
+// its client library (paper §6.3). The defining property — and the cause of
+// Figure 7's shape — is that a single request to the server grants the
+// client *direct vDTU access to an entire extent*: the server derives a
+// memory capability for the extent, delegates it to the client, and the
+// client moves data with plain DTU reads/writes, never involving the file
+// system again until the extent is exhausted.
+package m3fs
+
+import "m3v/internal/proto"
+
+// ServiceName is the service name the server registers.
+const ServiceName = "m3fs"
+
+// Protocol opcodes (local to the m3fs request gate).
+const (
+	opInit proto.Op = iota + 1
+	opOpen
+	opStat
+	opNextIn
+	opNextOut
+	opCommit
+	opClose
+	opMkdir
+	opReadDir
+	opUnlink
+	opSeek
+)
+
+// Open flags.
+const (
+	FlagR      = 1 << iota // read
+	FlagW                  // write
+	FlagCreate             // create if absent
+	FlagTrunc              // truncate to zero length
+)
+
+// BlockBytes is the file system block size.
+const BlockBytes = 4096
+
+// Costs models the server-side work per operation, in server-core cycles.
+type Costs struct {
+	Open      int64
+	Stat      int64
+	NextIn    int64
+	NextOut   int64 // base; plus ZeroBlock per allocated block
+	ZeroBlock int64
+	Commit    int64
+	Close     int64
+	Mkdir     int64
+	ReadDir   int64 // base; plus DirEntry per entry
+	DirEntry  int64
+	Unlink    int64
+
+	// Client-side costs (cycles): per-call library overhead and per-byte
+	// buffer copy, the dominant cost of read/write loops on the 80 MHz
+	// cores.
+	ClientCall        int64
+	CopyBytesPerCycle int64
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		Open:      2500,
+		Stat:      1200,
+		NextIn:    1600,
+		NextOut:   1800,
+		ZeroBlock: 1800,
+		Commit:    800,
+		Close:     600,
+		Mkdir:     2000,
+		ReadDir:   1500,
+		DirEntry:  60,
+		Unlink:    2000,
+
+		ClientCall:        250,
+		CopyBytesPerCycle: 8,
+	}
+}

@@ -1,0 +1,136 @@
+package m3x_test
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/cap"
+	"m3v/internal/core"
+	"m3v/internal/sim"
+)
+
+// share coordinates test programs at the model level.
+type share struct {
+	rootSgateSel cap.Sel // server's sgate, delegated to the root
+	cliSgateSel  cap.Sel // then delegated to the client
+	ready        bool
+	replies      int
+}
+
+// TestM3xSameTileSlowPathRPC reproduces the Figure 9 situation at unit
+// level: a client and a server share one tile on the M³x baseline. Every
+// RPC needs the slow path (the recipient's endpoints are saved in the
+// controller) and remote context switches through the controller.
+func TestM3xSameTileSlowPathRPC(t *testing.T) {
+	sys := core.New(core.Gem5Config(2).WithM3x())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+	rootTile, workTile := procs[0], procs[1]
+
+	sh := &share{}
+	const rounds = 4
+	root := sys.SpawnRoot(rootTile, "root", nil, func(a *activity.Activity) {
+		tiles := core.TileSels(a)
+		srvRef, err := a.Spawn(tiles[workTile], workTile, "server",
+			map[string]interface{}{"share": sh, "rounds": rounds, "root": a.ID}, m3xServer)
+		if err != nil {
+			t.Errorf("spawn server: %v", err)
+			return
+		}
+		for !sh.ready {
+			a.Compute(1000)
+			a.Yield()
+		}
+		cliRef, err := a.Spawn(tiles[workTile], workTile, "client",
+			map[string]interface{}{"share": sh, "rounds": rounds}, m3xClient)
+		if err != nil {
+			t.Errorf("spawn client: %v", err)
+			return
+		}
+		sel, err := a.SysDelegate(cliRef.ID, sh.rootSgateSel)
+		if err != nil {
+			t.Errorf("delegate to client: %v", err)
+			return
+		}
+		sh.cliSgateSel = sel
+		if _, err := a.SysWait(cliRef.ActSel); err != nil {
+			t.Errorf("wait client: %v", err)
+		}
+		if _, err := a.SysWait(srvRef.ActSel); err != nil {
+			t.Errorf("wait server: %v", err)
+		}
+	})
+	sys.Run(120 * sim.Second)
+	if !root.Done() {
+		t.Fatal("did not finish")
+	}
+	if sh.replies != rounds {
+		t.Errorf("replies = %d, want %d", sh.replies, rounds)
+	}
+	if sys.Driver.Forwards < int64(rounds) {
+		t.Errorf("forwards = %d, want >= %d (slow path per RPC leg)", sys.Driver.Forwards, rounds)
+	}
+	if sys.Driver.Switches < int64(rounds) {
+		t.Errorf("remote switches = %d, want >= %d", sys.Driver.Switches, rounds)
+	}
+}
+
+func m3xServer(a *activity.Activity) {
+	sh := a.Env["share"].(*share)
+	rounds := a.Env["rounds"].(int)
+	rootID := a.Env["root"].(uint32)
+	rgSel, err := a.SysCreateRGate(4, 128)
+	if err != nil {
+		panic(err)
+	}
+	rgEp, err := a.SysActivate(rgSel)
+	if err != nil {
+		panic(err)
+	}
+	sgSel, err := a.SysCreateSGate(rgSel, 0xAB, 2)
+	if err != nil {
+		panic(err)
+	}
+	rootSel, err := a.SysDelegate(rootID, sgSel)
+	if err != nil {
+		panic(err)
+	}
+	sh.rootSgateSel = rootSel
+	sh.ready = true
+	for i := 0; i < rounds; i++ {
+		slot, msg := a.Recv(rgEp)
+		if err := a.ReplyMsg(rgEp, slot, msg, append([]byte("re:"), msg.Data...), 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func m3xClient(a *activity.Activity) {
+	sh := a.Env["share"].(*share)
+	rounds := a.Env["rounds"].(int)
+	for sh.cliSgateSel == 0 {
+		a.Compute(1000)
+		a.Yield()
+	}
+	rgSel, err := a.SysCreateRGate(2, 128)
+	if err != nil {
+		panic(err)
+	}
+	rgEp, err := a.SysActivate(rgSel)
+	if err != nil {
+		panic(err)
+	}
+	sgEp, err := a.SysActivate(sh.cliSgateSel)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < rounds; i++ {
+		resp, err := a.Call(sgEp, rgEp, []byte{byte(i)})
+		if err != nil {
+			panic(err)
+		}
+		if len(resp) == 4 && resp[3] == byte(i) {
+			sh.replies++
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package nic models the on-chip Ethernet NIC of the FPGA platform (paper
+// §4.1: Xilinx AXI Ethernet blocks attached to one processing tile's core,
+// with interrupt-driven DMA access), together with the directly connected
+// peer machine on the other end of the wire.
+package nic
+
+import "m3v/internal/sim"
+
+// Device is one NIC instance.
+type Device struct {
+	eng *sim.Engine
+
+	// WireDelay is the one-way latency to the peer machine (cable + peer
+	// NIC + peer stack turnaround is modelled in Peer).
+	WireDelay sim.Time
+	// PeerTurnaround is the peer machine's processing time per packet.
+	PeerTurnaround sim.Time
+	// Peer produces the peer's answer to a transmitted frame (nil = none:
+	// the frame is consumed, e.g. a sink).
+	Peer func(frame []byte) []byte
+	// Drop, every n-th packet is lost (0 = no loss). The paper observed
+	// packet drops over the real link; injecting them exercises the same
+	// robustness paths.
+	Drop int
+
+	irq   func()
+	inbox [][]byte
+
+	// TxFrames and RxFrames count traffic, for tests and reports.
+	TxFrames, RxFrames, Dropped int64
+	txSeq                       int64
+}
+
+// New creates a NIC with a directly connected peer, as in the paper's
+// benchmark setup (FPGA <-> AMD Ryzen over 1 Gb Ethernet).
+func New(eng *sim.Engine) *Device {
+	return &Device{
+		eng:            eng,
+		WireDelay:      30 * sim.Microsecond,
+		PeerTurnaround: 40 * sim.Microsecond,
+	}
+}
+
+// SetIRQ installs the interrupt handler (invoked on frame arrival).
+func (d *Device) SetIRQ(fn func()) { d.irq = fn }
+
+// Transmit sends a frame to the peer. The peer's answer (if any) arrives in
+// the receive queue after the round-trip delay.
+func (d *Device) Transmit(frame []byte) {
+	d.TxFrames++
+	d.txSeq++
+	if d.Drop > 0 && d.txSeq%int64(d.Drop) == 0 {
+		d.Dropped++
+		return
+	}
+	if d.Peer == nil {
+		return
+	}
+	f := append([]byte(nil), frame...)
+	d.eng.After(2*d.WireDelay+d.PeerTurnaround, func() {
+		resp := d.Peer(f)
+		if resp != nil {
+			d.Inject(resp)
+		}
+	})
+}
+
+// Inject delivers a frame from the wire into the receive queue and raises
+// the interrupt.
+func (d *Device) Inject(frame []byte) {
+	d.RxFrames++
+	d.inbox = append(d.inbox, append([]byte(nil), frame...))
+	if d.irq != nil {
+		d.irq()
+	}
+}
+
+// Poll removes the next received frame, if any.
+func (d *Device) Poll() ([]byte, bool) {
+	if len(d.inbox) == 0 {
+		return nil, false
+	}
+	f := d.inbox[0]
+	d.inbox = d.inbox[1:]
+	return f, true
+}
+
+// Pending reports queued received frames.
+func (d *Device) Pending() int { return len(d.inbox) }

@@ -1,0 +1,72 @@
+package nic
+
+import (
+	"testing"
+
+	"m3v/internal/sim"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng)
+	d.Peer = func(f []byte) []byte { return append([]byte("re:"), f...) }
+	irqs := 0
+	d.SetIRQ(func() { irqs++ })
+	d.Transmit([]byte("hi"))
+	eng.Run()
+	if irqs != 1 {
+		t.Errorf("irqs = %d, want 1", irqs)
+	}
+	f, ok := d.Poll()
+	if !ok || string(f) != "re:hi" {
+		t.Errorf("poll = (%q,%v)", f, ok)
+	}
+	if _, ok := d.Poll(); ok {
+		t.Error("second poll returned a frame")
+	}
+	if d.TxFrames != 1 || d.RxFrames != 1 {
+		t.Errorf("tx/rx = %d/%d", d.TxFrames, d.RxFrames)
+	}
+}
+
+func TestRoundTripLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng)
+	d.Peer = func(f []byte) []byte { return f }
+	var arrived sim.Time
+	d.SetIRQ(func() { arrived = eng.Now() })
+	d.Transmit([]byte{1})
+	eng.Run()
+	want := 2*d.WireDelay + d.PeerTurnaround
+	if arrived != want {
+		t.Errorf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestDropEveryNth(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng)
+	d.Peer = func(f []byte) []byte { return f }
+	d.Drop = 3
+	for i := 0; i < 9; i++ {
+		d.Transmit([]byte{byte(i)})
+	}
+	eng.Run()
+	if d.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", d.Dropped)
+	}
+	if d.Pending() != 6 {
+		t.Errorf("pending = %d, want 6", d.Pending())
+	}
+}
+
+func TestSinkPeer(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng)
+	d.Peer = func([]byte) []byte { return nil } // consumes without answering
+	d.Transmit([]byte{1})
+	eng.Run()
+	if d.Pending() != 0 {
+		t.Error("sink peer produced a frame")
+	}
+}

@@ -1,0 +1,199 @@
+// Package noc models the network-on-chip connecting the tiles of the M³v
+// platform: a 2x2 star-mesh of routers (paper §4.1, Figure 4) with per-hop
+// latency, link-bandwidth serialization, router contention, and packet-based
+// flow control with NACK/retry backpressure (paper §3.8: "queue overruns are
+// handled via the packet-based flow control of the on-chip network").
+package noc
+
+import (
+	"fmt"
+
+	"m3v/internal/sim"
+)
+
+// TileID identifies a tile attached to the network.
+type TileID int
+
+// Packet is one NoC transfer. Size covers header plus payload and determines
+// serialization time on each traversed link.
+type Packet struct {
+	Src, Dst TileID
+	Size     int         // bytes on the wire
+	Payload  interface{} // model-level content, opaque to the NoC
+}
+
+// Handler receives packets delivered to a tile. Deliver reports whether the
+// tile accepted the packet; false triggers the NoC's retry backpressure.
+type Handler interface {
+	Deliver(pkt *Packet) bool
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet) bool
+
+// Deliver calls f(pkt).
+func (f HandlerFunc) Deliver(pkt *Packet) bool { return f(pkt) }
+
+// Config holds the NoC timing parameters.
+type Config struct {
+	HopLatency   sim.Time // propagation per hop (link + router traversal)
+	BandwidthBps int64    // per-link bandwidth in bytes per second
+	RetryDelay   sim.Time // backoff before retransmitting a NACKed packet
+	MaxRetries   int      // retries before the packet is dropped (0 = infinite)
+}
+
+// DefaultConfig mirrors the FPGA platform: tile-to-tile latency of "dozens
+// of nanoseconds" with a 128-bit 100 MHz NoC link (1.6 GB/s).
+func DefaultConfig() Config {
+	return Config{
+		HopLatency:   15 * sim.Nanosecond,
+		BandwidthBps: 1_600_000_000,
+		RetryDelay:   200 * sim.Nanosecond,
+		MaxRetries:   0,
+	}
+}
+
+// Network is the NoC instance. Construct with New.
+type Network struct {
+	eng      *sim.Engine
+	topo     Topology
+	cfg      Config
+	handlers map[TileID]Handler
+
+	// routerFree[r] is the earliest time router r can accept the next
+	// packet; it models serialization contention at the router.
+	routerFree []sim.Time
+
+	// Counters for tests and reporting.
+	Delivered int64
+	Nacked    int64
+	Dropped   int64
+	Bytes     int64
+}
+
+// New creates a network over the given topology.
+func New(eng *sim.Engine, topo Topology, cfg Config) *Network {
+	return &Network{
+		eng:        eng,
+		topo:       topo,
+		cfg:        cfg,
+		handlers:   make(map[TileID]Handler),
+		routerFree: make([]sim.Time, topo.Routers()),
+	}
+}
+
+// Attach registers the packet handler for a tile. Attaching twice replaces
+// the handler.
+func (n *Network) Attach(id TileID, h Handler) { n.handlers[id] = h }
+
+// serialization reports the time to push size bytes onto one link.
+func (n *Network) serialization(size int) sim.Time {
+	if n.cfg.BandwidthBps <= 0 {
+		return 0
+	}
+	return sim.Time(int64(size) * int64(sim.Second) / n.cfg.BandwidthBps)
+}
+
+// Latency reports the uncontended transfer time for a packet of the given
+// size between two tiles.
+func (n *Network) Latency(src, dst TileID, size int) sim.Time {
+	hops := n.topo.Hops(src, dst)
+	return sim.Time(hops)*n.cfg.HopLatency + n.serialization(size)
+}
+
+// Send injects a packet. Delivery is scheduled after the path latency plus
+// any router contention; if the destination rejects it, the packet is
+// retransmitted after RetryDelay, up to MaxRetries times.
+func (n *Network) Send(pkt *Packet) {
+	if pkt.Src == pkt.Dst {
+		// Tile-local loopback through the DTU: one hop worth of latency,
+		// no router involvement.
+		n.eng.After(n.cfg.HopLatency+n.serialization(pkt.Size), func() {
+			n.deliver(pkt, 0)
+		})
+		return
+	}
+	n.transmit(pkt, 0)
+}
+
+func (n *Network) transmit(pkt *Packet, attempt int) {
+	ser := n.serialization(pkt.Size)
+	delay := n.Latency(pkt.Src, pkt.Dst, pkt.Size)
+	// Router contention: the packet occupies each router on its path for its
+	// serialization time. Model the bottleneck via the ingress router.
+	r := n.topo.RouterOf(pkt.Src)
+	now := n.eng.Now()
+	start := now
+	if n.routerFree[r] > start {
+		start = n.routerFree[r]
+	}
+	n.routerFree[r] = start + ser
+	queueing := start - now
+	n.eng.After(queueing+delay, func() { n.deliver(pkt, attempt) })
+}
+
+func (n *Network) deliver(pkt *Packet, attempt int) {
+	h := n.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler attached to tile %d", pkt.Dst))
+	}
+	if h.Deliver(pkt) {
+		n.Delivered++
+		n.Bytes += int64(pkt.Size)
+		return
+	}
+	n.Nacked++
+	if n.cfg.MaxRetries > 0 && attempt+1 >= n.cfg.MaxRetries {
+		n.Dropped++
+		return
+	}
+	n.eng.After(n.cfg.RetryDelay, func() { n.transmit(pkt, attempt+1) })
+}
+
+// Topology computes routes between tiles.
+type Topology interface {
+	// Hops reports the number of link hops between two distinct tiles.
+	Hops(a, b TileID) int
+	// RouterOf reports the router a tile is attached to.
+	RouterOf(t TileID) int
+	// Routers reports the number of routers.
+	Routers() int
+}
+
+// StarMesh is the paper's 2x2 star-mesh: four routers in a square, each with
+// a set of tiles attached in a star. Tiles are assigned to routers round
+// robin, matching the balanced placement of the FPGA floorplan.
+type StarMesh struct {
+	NumTiles int
+}
+
+// routerGrid is the fixed 2x2 arrangement; Manhattan distance in the square
+// gives the router-to-router hop count (adjacent: 1, diagonal: 2).
+var routerPos = [4][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+
+// Routers reports 4.
+func (s StarMesh) Routers() int { return 4 }
+
+// RouterOf assigns tiles to the four routers round robin.
+func (s StarMesh) RouterOf(t TileID) int { return int(t) % 4 }
+
+// Hops reports tile->router (1) + router mesh distance + router->tile (1).
+func (s StarMesh) Hops(a, b TileID) int {
+	if a == b {
+		return 1
+	}
+	ra, rb := s.RouterOf(a), s.RouterOf(b)
+	if ra == rb {
+		return 2
+	}
+	pa, pb := routerPos[ra], routerPos[rb]
+	dist := abs(pa[0]-pb[0]) + abs(pa[1]-pb[1])
+	return 2 + dist
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

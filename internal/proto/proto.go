@@ -1,0 +1,284 @@
+// Package proto defines the wire protocol of the M³v operating system: the
+// system-call messages activities send to the controller, the requests the
+// controller sends to TileMux instances, TileMux's notifications back, and
+// the page-fault protocol between TileMux and the pager (paper §3.3, §4.2,
+// §4.3).
+//
+// Messages are encoded into real bytes with a little-endian scheme so that
+// message sizes — and therefore NoC serialization costs — are honest.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is a message opcode (first byte on the wire).
+type Op uint8
+
+// System calls (activity -> controller).
+const (
+	OpNoop Op = iota + 1
+	OpCreateActivity
+	OpCreateRGate
+	OpCreateSGate
+	OpCreateMGate
+	OpDeriveMGate
+	OpActivate
+	OpDelegate
+	OpRevoke
+	OpCreateSrv
+	OpOpenSess
+	OpActivityStart
+	OpActivityWait
+	OpForward  // M³x slow path: deliver a message via the controller
+	OpMapPages // pager -> controller: map pages into an activity
+	OpSetPager // bind a pager session to an activity's TileMux
+	OpActivityKill
+)
+
+// Controller -> TileMux requests.
+const (
+	OpMuxCreateAct Op = iota + 0x40
+	OpMuxStartAct
+	OpMuxKillAct
+	OpMuxMapPages
+	OpMuxUnmapPages
+	OpMuxSetPager
+	// M³x baseline: remote context switching (controller -> RCTMux).
+	OpMuxSwitch
+	OpMuxResume
+)
+
+// TileMux -> controller notifications.
+const (
+	OpNotifyExit Op = iota + 0x60
+)
+
+// TileMux -> pager, and pager session control.
+const (
+	OpPageFault Op = iota + 0x70
+	OpPagerInit    // parent -> pager: bind a session to a child activity
+)
+
+// Generic responses.
+const (
+	OpResp Op = 0x80
+)
+
+// Error codes carried in responses.
+type ErrCode uint16
+
+// Error codes.
+const (
+	EOK ErrCode = iota
+	ENoSuchCap
+	EWrongKind
+	EPermDenied
+	ENoSpace
+	EExists
+	ENotFound
+	EInvalid
+	ENoTile
+	EUnreachable
+)
+
+var errTexts = map[ErrCode]string{
+	ENoSuchCap:   "no such capability",
+	EWrongKind:   "wrong capability kind",
+	EPermDenied:  "permission denied",
+	ENoSpace:     "out of space",
+	EExists:      "already exists",
+	ENotFound:    "not found",
+	EInvalid:     "invalid argument",
+	ENoTile:      "no such tile",
+	EUnreachable: "unreachable",
+}
+
+// Err converts a code into a Go error (nil for EOK).
+func (e ErrCode) Err() error {
+	if e == EOK {
+		return nil
+	}
+	if t, ok := errTexts[e]; ok {
+		return fmt.Errorf("proto: %s", t)
+	}
+	return fmt.Errorf("proto: error code %d", uint16(e))
+}
+
+// ErrTruncated reports a message shorter than its encoding requires.
+var ErrTruncated = errors.New("proto: truncated message")
+
+// Writer serializes a message.
+type Writer struct {
+	b []byte
+}
+
+// NewWriter starts a message with the given opcode.
+func NewWriter(op Op) *Writer {
+	return &Writer{b: []byte{byte(op)}}
+}
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) *Writer { w.b = append(w.b, v); return w }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) *Writer {
+	w.b = binary.LittleEndian.AppendUint16(w.b, v)
+	return w
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) *Writer {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+	return w
+}
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) *Writer {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
+	return w
+}
+
+// Str appends a length-prefixed string (max 64 KiB).
+func (w *Writer) Str(s string) *Writer {
+	w.U16(uint16(len(s)))
+	w.b = append(w.b, s...)
+	return w
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) *Writer {
+	w.U32(uint32(len(b)))
+	w.b = append(w.b, b...)
+	return w
+}
+
+// Done returns the encoded message.
+func (w *Writer) Done() []byte { return w.b }
+
+// Reader deserializes a message. Errors are sticky: after the first
+// truncation every accessor returns zero and Err reports the failure.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded message; the opcode has already been consumed
+// by Parse.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// ParseOp reads the opcode of an encoded message.
+func ParseOp(b []byte) (Op, *Reader, error) {
+	if len(b) == 0 {
+		return 0, nil, ErrTruncated
+	}
+	return Op(b[0]), &Reader{b: b, off: 1}, nil
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := int(r.U16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// BytesField reads a length-prefixed byte slice.
+func (r *Reader) BytesField() []byte {
+	n := int(r.U32())
+	if n < 0 || !r.need(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += n
+	return b
+}
+
+// Err reports a deserialization failure, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Resp builds a generic response: an error code followed by up to three
+// result words.
+func Resp(code ErrCode, vals ...uint64) []byte {
+	w := NewWriter(OpResp).U16(uint16(code))
+	for _, v := range vals {
+		w.U64(v)
+	}
+	return w.Done()
+}
+
+// RespBytes builds a response carrying an error code and a payload.
+func RespBytes(code ErrCode, payload []byte) []byte {
+	return NewWriter(OpResp).U16(uint16(code)).Bytes(payload).Done()
+}
+
+// ParseResp decodes a generic response into its code and result words.
+func ParseResp(b []byte) (ErrCode, *Reader, error) {
+	op, r, err := ParseOp(b)
+	if err != nil {
+		return EInvalid, nil, err
+	}
+	if op != OpResp {
+		return EInvalid, nil, fmt.Errorf("proto: response has opcode %d", op)
+	}
+	code := ErrCode(r.U16())
+	return code, r, r.Err()
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal timestamps execute in
+// insertion order (seq), which makes the simulation fully deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not usable;
+// construct with NewEngine.
+//
+// Model code runs in two contexts:
+//
+//   - handler context: event callbacks executed by the Run loop;
+//   - process context: inside a goroutine started with Spawn, between the
+//     engine's resume and the process's next blocking call.
+//
+// The engine guarantees that at most one of these is active at any moment.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	parked  chan struct{} // a process hands control back to the engine
+	dead    chan struct{} // closed by Shutdown to unwind parked processes
+	stopped bool
+	running bool
+	live    int // number of spawned, not yet finished processes
+	tracer  func(Time, string)
+}
+
+// NewEngine returns a ready-to-use engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs a debug tracer invoked for engine-level events. A nil
+// tracer disables tracing.
+func (e *Engine) SetTracer(fn func(Time, string)) { e.tracer = fn }
+
+func (e *Engine) trace(format string, args ...interface{}) {
+	if e.tracer != nil {
+		e.tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would violate causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes the Run loop return after the current event completes. Pending
+// events remain queued; Run can be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the simulated time at which it stopped.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= limit, then returns. The
+// engine's clock advances to the timestamp of the last executed event (or to
+// limit if at least one event beyond it remains queued).
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.queue) > 0 {
+		if e.queue[0].at > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Engine) Live() int { return e.live }
+
+// Shutdown unwinds all parked process goroutines. It must be called after Run
+// has returned (never from handler or process context). The engine is dead
+// afterwards; further use panics.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown during Run")
+	}
+	close(e.dead)
+	// Parked processes wake from their select, panic with errShutdown, and
+	// are recovered by the Spawn wrapper without handing control back. No
+	// synchronization is required here: they no longer touch engine state.
+}
+
+// errShutdown is the sentinel used to unwind process goroutines at Shutdown.
+type shutdownError struct{}
+
+func (shutdownError) Error() string { return "sim: engine shut down" }

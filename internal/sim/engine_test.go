@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ps"},
+		{500 * Picosecond, "500ps"},
+		{Nanosecond, "1ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{12500 * Picosecond, "12.5ns"},
+		{Millisecond, "1ms"},
+		{2 * Second, "2s"},
+		{-Microsecond, "-1us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestClockPeriods(t *testing.T) {
+	if p := MHz(100).Period; p != 10000*Picosecond {
+		t.Errorf("100 MHz period = %v, want 10ns", p)
+	}
+	if p := MHz(80).Period; p != 12500*Picosecond {
+		t.Errorf("80 MHz period = %v, want 12.5ns", p)
+	}
+	if p := GHz(3).Period; p != 333*Picosecond {
+		t.Errorf("3 GHz period = %v, want 333ps", p)
+	}
+	if n := MHz(80).CyclesIn(Microsecond); n != 80 {
+		t.Errorf("cycles of 80MHz in 1us = %d, want 80", n)
+	}
+	if d := MHz(100).Cycles(100); d != Microsecond {
+		t.Errorf("100 cycles at 100MHz = %v, want 1us", d)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(10*Nanosecond, func() { order = append(order, 2) }) // same time: insertion order
+	e.At(40*Nanosecond, func() { order = append(order, 4) })
+	end := e.Run()
+	if end != 40*Nanosecond {
+		t.Errorf("Run returned %v, want 40ns", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10*Nanosecond, func() { fired++ })
+	e.At(20*Nanosecond, func() { fired++ })
+	e.At(30*Nanosecond, func() { fired++ })
+	e.RunUntil(20 * Nanosecond)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20*Nanosecond {
+		t.Errorf("Now = %v, want 20ns", e.Now())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Errorf("after full Run fired = %d, want 3", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10*Nanosecond, func() { fired++; e.Stop() })
+	e.At(20*Nanosecond, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (Stop should halt the loop)", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var marks []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(5 * Microsecond)
+		marks = append(marks, p.Now())
+		p.Sleep(3 * Microsecond)
+		marks = append(marks, p.Now())
+	})
+	e.Run()
+	want := []Time{0, 5 * Microsecond, 8 * Microsecond}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v, want %v", marks, want)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Errorf("marks[%d] = %v, want %v", i, marks[i], want[i])
+		}
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d, want 0", e.Live())
+	}
+	e.Shutdown()
+}
+
+func TestParkWake(t *testing.T) {
+	e := NewEngine()
+	var got Time
+	p := e.Spawn("waiter", func(p *Proc) {
+		p.Park()
+		got = p.Now()
+	})
+	e.At(7*Microsecond, func() { p.Wake() })
+	e.Run()
+	if got != 7*Microsecond {
+		t.Errorf("woken at %v, want 7us", got)
+	}
+	e.Shutdown()
+}
+
+func TestWakeBeforeParkIsNotLost(t *testing.T) {
+	// The lost-wakeup problem from paper §3.7: a wake that arrives while the
+	// process is still running must make the next Park return immediately.
+	e := NewEngine()
+	var woken Time
+	p := e.Spawn("worker", func(p *Proc) {
+		p.Sleep(10 * Microsecond) // busy while the wake arrives
+		p.Park()                  // must not block
+		woken = p.Now()
+	})
+	e.At(2*Microsecond, func() { p.Wake() })
+	e.Run()
+	if woken != 10*Microsecond {
+		t.Errorf("park returned at %v, want 10us (immediately after sleep)", woken)
+	}
+	e.Shutdown()
+}
+
+func TestDuplicateWakesCoalesce(t *testing.T) {
+	e := NewEngine()
+	parks := 0
+	p := e.Spawn("w", func(p *Proc) {
+		p.Park()
+		parks++
+		p.Park() // second park must block forever (only one effective wake)
+		parks++
+	})
+	e.At(Microsecond, func() { p.Wake(); p.Wake(); p.Wake() })
+	e.RunUntil(Second)
+	if parks != 1 {
+		t.Errorf("parks completed = %d, want 1", parks)
+	}
+	e.Shutdown()
+}
+
+func TestTwoProcessesPingPong(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	var a, b *Proc
+	a = e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			log = append(log, "a")
+			b.Wake()
+			p.Park()
+		}
+		b.Wake()
+	})
+	b = e.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Park()
+			log = append(log, "b")
+			a.Wake()
+		}
+	})
+	e.Run()
+	want := "ababab"
+	got := ""
+	for _, s := range log {
+		got += s
+	}
+	if got != want {
+		t.Errorf("sequence = %q, want %q", got, want)
+	}
+	e.Shutdown()
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	var q WaitQueue
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.At(Microsecond, func() {
+		if q.Len() != 3 {
+			t.Errorf("queue len = %d, want 3", q.Len())
+		}
+		q.WakeAll()
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != "p1" || order[1] != "p2" || order[2] != "p3" {
+		t.Errorf("wake order = %v, want [p1 p2 p3]", order)
+	}
+	e.Shutdown()
+}
+
+func TestWaitQueueRemove(t *testing.T) {
+	e := NewEngine()
+	var q WaitQueue
+	woken := false
+	p := e.Spawn("p", func(p *Proc) {
+		q.Wait(p)
+		woken = true
+	})
+	e.At(Microsecond, func() {
+		if !q.Remove(p) {
+			t.Error("Remove reported false for queued proc")
+		}
+		if q.Remove(p) {
+			t.Error("second Remove reported true")
+		}
+		q.WakeAll() // queue now empty; p must stay parked
+	})
+	e.RunUntil(Second)
+	if woken {
+		t.Error("removed process was woken")
+	}
+	e.Shutdown()
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical runs must produce identical event interleavings.
+	run := func() []Time {
+		e := NewEngine()
+		var marks []Time
+		for i := 0; i < 5; i++ {
+			d := Time(i+1) * Microsecond
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					p.Sleep(d)
+					marks = append(marks, p.Now())
+				}
+			})
+		}
+		e.Run()
+		e.Shutdown()
+		return marks
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockRoundTripProperty(t *testing.T) {
+	// For any cycle count, converting to duration and back is the identity.
+	f := func(n uint16, mhz uint8) bool {
+		freq := int64(mhz%200) + 1
+		c := MHz(freq)
+		return c.CyclesIn(c.Cycles(int64(n))) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShutdownUnblocksParked(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", func(p *Proc) {
+		p.Park() // never woken
+	})
+	e.Run()
+	if e.Live() != 1 {
+		t.Errorf("live = %d, want 1", e.Live())
+	}
+	e.Shutdown() // must not deadlock
+}

@@ -1,0 +1,191 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// deterministically with the event loop. A process runs only between the
+// engine's resume signal and its next call to Sleep, Park, or return.
+//
+// Methods on Proc must be called from the process's own goroutine (process
+// context). Wake must be called from handler context or another process's
+// context via the engine's event queue.
+type Proc struct {
+	e           *Engine
+	name        string
+	wake        chan struct{}
+	parked      bool // parked via Park, waiting for an explicit Wake
+	wakePending bool // a wake event is already queued
+	done        bool
+	interrupted bool // Wake arrived while the process was not parked
+}
+
+// Spawn creates a process executing fn and schedules its start at the current
+// time. fn runs in process context.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, wake: make(chan struct{})}
+	e.live++
+	go func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(shutdownError); ok {
+				return // engine shut down; exit silently
+			}
+			if r != nil {
+				panic(r) // genuine model bug: crash loudly
+			}
+			// Normal return or runtime.Goexit (e.g. t.Fatal inside a test
+			// process): mark finished and hand control back so the engine
+			// does not deadlock.
+			p.done = true
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		p.waitWake() // wait for the start event
+		fn(p)
+	}()
+	e.After(0, func() { e.resume(p) })
+	return p
+}
+
+// resume transfers control to p and blocks until p yields or finishes. It
+// must run in handler context.
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resume of finished process %q", p.name))
+	}
+	p.wake <- struct{}{}
+	<-e.parked
+}
+
+// yield hands control back to the engine and blocks until resumed.
+func (p *Proc) yield() {
+	p.e.parked <- struct{}{}
+	p.waitWake()
+}
+
+func (p *Proc) waitWake() {
+	select {
+	case <-p.wake:
+	case <-p.e.dead:
+		panic(shutdownError{})
+	}
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep suspends the process for d. A Wake during the sleep does not shorten
+// it but is remembered and reported by the next Park (see Wake).
+func (p *Proc) Sleep(d Time) {
+	e := p.e
+	e.At(e.now+d, func() { e.resume(p) })
+	p.yield()
+}
+
+// Park suspends the process until another component calls Wake. If a Wake
+// already arrived while the process was running (an "interrupt"), Park
+// returns immediately and consumes it; this closes the lost-wakeup window.
+func (p *Proc) Park() {
+	if p.interrupted {
+		p.interrupted = false
+		return
+	}
+	p.parked = true
+	p.yield()
+}
+
+// Wake schedules the process to resume at the current time. It may be called
+// from handler context or from another process. Waking a process that is not
+// parked sets its interrupt flag instead, so the wake-up is not lost.
+// Duplicate wakes coalesce.
+func (p *Proc) Wake() {
+	if p.done {
+		return
+	}
+	if !p.parked {
+		p.interrupted = true
+		return
+	}
+	if p.wakePending {
+		return
+	}
+	p.wakePending = true
+	e := p.e
+	e.After(0, func() {
+		p.wakePending = false
+		if !p.parked {
+			// The process was already woken by someone else in the
+			// meantime; remember the extra wake as an interrupt.
+			p.interrupted = true
+			return
+		}
+		p.parked = false
+		e.resume(p)
+	})
+}
+
+// ClearInterrupt discards a pending interrupt flag, if any, and reports
+// whether one was pending.
+func (p *Proc) ClearInterrupt() bool {
+	was := p.interrupted
+	p.interrupted = false
+	return was
+}
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// WaitQueue is a FIFO of parked processes, the building block for condition
+// variables and resource queues inside the model.
+type WaitQueue struct {
+	procs []*Proc
+}
+
+// Wait appends the calling process to the queue and parks it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.procs = append(q.procs, p)
+	p.Park()
+}
+
+// WakeOne wakes the process at the head of the queue, if any, and reports
+// whether a process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.procs) == 0 {
+		return false
+	}
+	p := q.procs[0]
+	copy(q.procs, q.procs[1:])
+	q.procs[len(q.procs)-1] = nil
+	q.procs = q.procs[:len(q.procs)-1]
+	p.Wake()
+	return true
+}
+
+// WakeAll wakes every queued process in FIFO order.
+func (q *WaitQueue) WakeAll() {
+	for q.WakeOne() {
+	}
+}
+
+// Len reports the number of queued processes.
+func (q *WaitQueue) Len() int { return len(q.procs) }
+
+// Remove deletes p from the queue without waking it and reports whether it
+// was present.
+func (q *WaitQueue) Remove(p *Proc) bool {
+	for i, x := range q.procs {
+		if x == p {
+			copy(q.procs[i:], q.procs[i+1:])
+			q.procs[len(q.procs)-1] = nil
+			q.procs = q.procs[:len(q.procs)-1]
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package traces
+
+import (
+	"fmt"
+	"testing"
+)
+
+// memTarget is an in-memory Target for structural checks.
+type memTarget struct {
+	files   map[string][]byte
+	dirs    map[string]bool
+	open    string
+	compute int64
+	calls   int
+}
+
+func newMemTarget() *memTarget {
+	return &memTarget{files: map[string][]byte{}, dirs: map[string]bool{}}
+}
+
+func (m *memTarget) Open(path string) error {
+	m.calls++
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("%s not found", path)
+	}
+	m.open = path
+	return nil
+}
+func (m *memTarget) Create(path string) error {
+	m.calls++
+	m.files[path] = nil
+	m.open = path
+	return nil
+}
+func (m *memTarget) Read(size int) error {
+	m.calls++
+	if m.open == "" {
+		return fmt.Errorf("no open file")
+	}
+	return nil
+}
+func (m *memTarget) Write(size int) error {
+	m.calls++
+	if m.open == "" {
+		return fmt.Errorf("no open file")
+	}
+	m.files[m.open] = append(m.files[m.open], make([]byte, size)...)
+	return nil
+}
+func (m *memTarget) Close() error { m.calls++; m.open = ""; return nil }
+func (m *memTarget) Stat(path string) error {
+	m.calls++
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("%s not found", path)
+	}
+	return nil
+}
+func (m *memTarget) ReadDir(path string) error {
+	m.calls++
+	if !m.dirs[path] {
+		return fmt.Errorf("%s not a dir", path)
+	}
+	return nil
+}
+func (m *memTarget) Unlink(path string) error {
+	m.calls++
+	delete(m.files, path)
+	return nil
+}
+func (m *memTarget) Mkdir(path string) error {
+	m.calls++
+	m.dirs[path] = true
+	return nil
+}
+func (m *memTarget) Compute(cycles int64) { m.compute += cycles }
+
+func TestFindTraceStructure(t *testing.T) {
+	tr := Find()
+	tgt := newMemTarget()
+	if err := Replay(tr.Setup, tgt); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if len(tgt.dirs) != 24 {
+		t.Errorf("dirs = %d, want 24", len(tgt.dirs))
+	}
+	if len(tgt.files) != 24*40 {
+		t.Errorf("files = %d, want 960", len(tgt.files))
+	}
+	if err := Replay(tr.Run, tgt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sys, comp := tr.Stats()
+	// One readdir per dir plus one stat per file.
+	if want := 24 + 24*40; sys != want {
+		t.Errorf("syscalls = %d, want %d", sys, want)
+	}
+	if comp == 0 {
+		t.Error("no compute gaps in the trace")
+	}
+}
+
+func TestSQLiteTraceStructure(t *testing.T) {
+	tr := SQLite()
+	tgt := newMemTarget()
+	if err := Replay(tr.Setup, tgt); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := Replay(tr.Run, tgt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The journal must not survive the run (every insert commits).
+	if _, ok := tgt.files["/test.db-journal"]; ok {
+		t.Error("journal file leaked")
+	}
+	sys, _ := tr.Stats()
+	// 32 inserts (10 calls) + 32 selects (4 calls).
+	if want := 32*10 + 32*4; sys != want {
+		t.Errorf("syscalls = %d, want %d", sys, want)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	tgt := newMemTarget()
+	err := Replay([]Op{{Kind: OpOpen, Path: "/missing"}}, tgt)
+	if err == nil {
+		t.Error("missing-file open did not fail")
+	}
+}

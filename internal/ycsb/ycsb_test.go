@@ -1,0 +1,110 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMixProportions(t *testing.T) {
+	w := Generate(Config{Records: 200, Ops: 10000, Seed: 1, Mix: ReadHeavy})
+	counts := map[OpKind]int{}
+	for _, op := range w.Run {
+		counts[op.Kind]++
+	}
+	total := len(w.Run)
+	frac := func(k OpKind) float64 { return float64(counts[k]) / float64(total) }
+	if f := frac(OpRead); f < 0.76 || f > 0.84 {
+		t.Errorf("read fraction = %.3f, want ~0.80", f)
+	}
+	if f := frac(OpInsert); f < 0.07 || f > 0.13 {
+		t.Errorf("insert fraction = %.3f, want ~0.10", f)
+	}
+	if counts[OpScan] != 0 {
+		t.Errorf("read-heavy contains %d scans", counts[OpScan])
+	}
+}
+
+func TestScanHeavyOmitsUpdates(t *testing.T) {
+	w := Generate(Config{Records: 200, Ops: 5000, Seed: 2, Mix: ScanHeavy})
+	counts := map[OpKind]int{}
+	for _, op := range w.Run {
+		counts[op.Kind]++
+	}
+	if counts[OpUpdate] != 0 {
+		t.Errorf("scan-heavy contains %d updates", counts[OpUpdate])
+	}
+	if f := float64(counts[OpScan]) / float64(len(w.Run)); f < 0.76 || f > 0.84 {
+		t.Errorf("scan fraction = %.3f, want ~0.80", f)
+	}
+}
+
+func TestLoadPhase(t *testing.T) {
+	w := Generate(Config{Records: 200, Ops: 200, Seed: 3, Mix: Mixed})
+	if len(w.Load) != 200 {
+		t.Fatalf("load ops = %d, want 200", len(w.Load))
+	}
+	seen := map[string]bool{}
+	for _, op := range w.Load {
+		if op.Kind != OpInsert || op.Value == "" {
+			t.Fatalf("load op = %+v", op)
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate load key %s", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestInsertsUseFreshKeys(t *testing.T) {
+	w := Generate(Config{Records: 50, Ops: 500, Seed: 4, Mix: InsertHeavy})
+	loaded := map[string]bool{}
+	for _, op := range w.Load {
+		loaded[op.Key] = true
+	}
+	for _, op := range w.Run {
+		if op.Kind == OpInsert && loaded[op.Key] {
+			t.Fatalf("insert reuses loaded key %s", op.Key)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7, Mix: Mixed})
+	b := Generate(Config{Seed: 7, Mix: Mixed})
+	if len(a.Run) != len(b.Run) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Run {
+		if a.Run[i] != b.Run[i] {
+			t.Fatalf("ops diverge at %d", i)
+		}
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	z := NewZipf(rng, 0.99, 100)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Zipfian: item 0 should be drawn far more often than the median item.
+	if counts[0] < 5*counts[50] {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// All items reachable in a large sample.
+	zero := 0
+	for _, c := range counts {
+		if c == 0 {
+			zero++
+		}
+	}
+	if zero > 5 {
+		t.Errorf("%d items never drawn", zero)
+	}
+}

@@ -1,0 +1,59 @@
+package m3v_test
+
+import (
+	"testing"
+
+	"m3v"
+)
+
+// TestFacadeQuickstart exercises the documented public API end to end: the
+// doc-comment example, expanded with a child RPC.
+func TestFacadeQuickstart(t *testing.T) {
+	sys := m3v.NewSystem(m3v.FPGA())
+	defer sys.Shutdown()
+	procs := sys.Cfg.ProcessingTiles()
+	if len(procs) != 7 {
+		t.Fatalf("FPGA config has %d processing tiles, want 7", len(procs))
+	}
+
+	ran := false
+	handle := sys.SpawnRoot(procs[0], "hello", nil, func(a *m3v.Activity) {
+		tiles := m3v.TileSels(a)
+		if len(tiles) != len(procs) {
+			t.Errorf("root got %d tile caps, want %d", len(tiles), len(procs))
+		}
+		a.Compute(1000)
+		ref, err := a.Spawn(tiles[procs[1]], procs[1], "child", nil,
+			func(c *m3v.Activity) {
+				c.Compute(2000)
+				c.Exit(5)
+			})
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			return
+		}
+		code, err := a.SysWait(ref.ActSel)
+		if err != nil || code != 5 {
+			t.Errorf("wait = (%d,%v), want (5,nil)", code, err)
+		}
+		ran = true
+	})
+	end := sys.Run(10 * m3v.Second)
+	if !handle.Done() || !ran {
+		t.Fatalf("root done=%v ran=%v", handle.Done(), ran)
+	}
+	if end <= 0 || end > 10*m3v.Second {
+		t.Errorf("sim end = %v", end)
+	}
+}
+
+// TestFacadeGem5 checks the gem5-style configuration builder.
+func TestFacadeGem5(t *testing.T) {
+	cfg := m3v.Gem5(3)
+	if got := len(cfg.ProcessingTiles()); got != 3 {
+		t.Errorf("gem5(3) has %d user tiles", got)
+	}
+	if m3v.GHz(3).Freq() < 2.9e9 {
+		t.Errorf("3 GHz clock = %v Hz", m3v.GHz(3).Freq())
+	}
+}
