@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI gate for the repo. This is the tier-1+ check: everything the tier-1
+# verify (`go build ./... && go test ./...`) covers, plus vet, the race
+# detector, and the engine fuzz seeds.
+#
+#   ./ci.sh          # full gate
+#   FUZZTIME=30s ./ci.sh   # additionally fuzz the sim engine for 30s
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz seeds =="
+go test -run '^Fuzz' ./internal/sim
+
+if [ -n "${FUZZTIME:-}" ]; then
+    echo "== fuzzing (${FUZZTIME}) =="
+    go test -fuzz FuzzEngineOrdering -fuzztime "$FUZZTIME" ./internal/sim
+fi
+
+echo "CI gate passed."

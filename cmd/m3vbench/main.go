@@ -1,8 +1,9 @@
 // m3vbench runs the reproduced experiments of the paper's evaluation and
 // prints their tables, including the paper's published values side by side.
 //
-//	m3vbench             # everything (Figure 9 and 10 take a few minutes)
-//	m3vbench -run fig6   # one experiment: table1, sloc, fig6..fig10, voice
+//	m3vbench                         # everything (Figure 9 and 10 take a few minutes)
+//	m3vbench -run fig6               # one experiment: table1, sloc, fig6..fig10, voice
+//	m3vbench -run fig6 -trace t.json # also dump a merged Chrome trace of all runs
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"m3v/internal/bench"
+	"m3v/internal/trace"
 )
 
 var experiments = map[string]func() *bench.Result{
@@ -31,6 +33,8 @@ var order = []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", 
 func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
+	traceFile := flag.String("trace", "", "write a merged Chrome trace-event JSON file of all simulated runs")
+	metrics := flag.Bool("metrics", false, "print the metrics registry of each simulated run")
 	flag.Parse()
 
 	if *list {
@@ -38,6 +42,12 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	// Experiments build their Systems internally; collect every recorder
+	// created while they run via the global auto-register hook.
+	if *traceFile != "" || *metrics {
+		trace.SetAutoRegister(true, *traceFile != "")
+		defer trace.SetAutoRegister(false, false)
 	}
 	ids := order
 	if *run != "" {
@@ -50,5 +60,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(fn())
+	}
+	recs := trace.Registered()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChromeMerged(f, recs, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		total := 0
+		for _, r := range recs {
+			total += len(r.Events())
+		}
+		fmt.Printf("trace: %d events from %d runs -> %s\n", total, len(recs), *traceFile)
+	}
+	if *metrics {
+		for i, r := range recs {
+			fmt.Printf("--- run %d ---\n%s", i, r.Metrics().Summary())
+		}
 	}
 }

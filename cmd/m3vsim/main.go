@@ -2,13 +2,14 @@
 // (two activities exchanging RPCs across tiles, then sharing a tile), and
 // dumps platform statistics — a smoke test for the whole stack.
 //
-//	m3vsim -rounds 100 -shared
+//	m3vsim -rounds 100 -shared -trace out.json -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"m3v"
 )
@@ -22,6 +23,8 @@ func main() {
 	rounds := flag.Int("rounds", 50, "number of RPC rounds")
 	shared := flag.Bool("shared", false, "co-locate client and server on one tile")
 	gem5 := flag.Bool("gem5", false, "use the 3 GHz gem5-style platform instead of the FPGA layout")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
 	flag.Parse()
 
 	cfg := m3v.FPGA()
@@ -30,6 +33,9 @@ func main() {
 	}
 	sys := m3v.NewSystem(cfg)
 	defer sys.Shutdown()
+	if *traceFile != "" {
+		sys.Eng.Tracer().Enable()
+	}
 	procs := sys.Cfg.ProcessingTiles()
 	clientTile := procs[0]
 	serverTile := procs[1]
@@ -75,12 +81,30 @@ func main() {
 	fmt.Printf("rounds:   %d no-op RPCs\n", *rounds)
 	fmt.Printf("per RPC:  %v\n", perRPC)
 	fmt.Printf("sim time: %v\n", end)
-	fmt.Printf("kernel syscalls: %d\n", sys.Kern.Syscalls)
+	fmt.Printf("kernel syscalls: %d\n", sys.Kern.Syscalls())
 	for _, tile := range procs {
-		if mux := sys.Muxes[tile]; mux != nil && mux.CtxSwitches > 0 {
+		if mux := sys.Muxes[tile]; mux != nil && mux.CtxSwitches() > 0 {
 			fmt.Printf("tile %d: %d context switches, %d interrupts\n",
-				tile, mux.CtxSwitches, mux.Irqs)
+				tile, mux.CtxSwitches(), mux.Irqs())
 		}
+	}
+	rec := sys.Eng.Tracer()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("trace:    %d events -> %s\n", len(rec.Events()), *traceFile)
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(rec.Summary())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"m3v/internal/noc"
 	"m3v/internal/sim"
 	"m3v/internal/tilemux"
+	"m3v/internal/trace"
 )
 
 // TileMux endpoint layout on processing tiles (0-3 are the PMP endpoints).
@@ -254,6 +255,10 @@ func (s *System) WireNICIrq(dev *nic.Device, tile noc.TileID, actID uint32) {
 		dev.SetIRQ(func() { mux.RaiseExternal(dtu.ActID(actID)) })
 	}
 }
+
+// Tracer returns the platform's structured event recorder. The metrics
+// registry is always live; call Enable to also record the event stream.
+func (s *System) Tracer() *trace.Recorder { return s.Eng.Tracer() }
 
 // Run drives the simulation until all roots exited or the limit is reached,
 // and returns the simulated end time.

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"m3v/internal/activity"
+	"m3v/internal/sim"
+	"m3v/internal/trace"
+)
+
+// runTracedRPC boots a system with event tracing enabled, runs n no-op RPCs
+// (tile-local when sameTile is set), and returns the system for inspection.
+// The caller owns the shutdown.
+func runTracedRPC(t *testing.T, sameTile bool, n int) *System {
+	t.Helper()
+	sys := New(FPGAConfig())
+	sys.Eng.Tracer().Enable()
+	procs := sys.Cfg.ProcessingTiles()
+	clientTile := procs[1]
+	serverTile := procs[2]
+	if sameTile {
+		serverTile = clientTile
+	}
+	share := &chanInfo{}
+	root := sys.SpawnRoot(clientTile, "client", nil, func(a *activity.Activity) {
+		tiles := TileSels(a)
+		_, err := a.Spawn(tiles[serverTile], serverTile, "server",
+			map[string]interface{}{"share": share, "rounds": n}, rpcServer)
+		if err != nil {
+			t.Errorf("spawn: %v", err)
+			return
+		}
+		for !share.ready {
+			a.Compute(1000)
+			a.Yield()
+		}
+		sgEp, err := a.SysActivate(share.sgateSel)
+		if err != nil {
+			t.Errorf("activate: %v", err)
+			return
+		}
+		rgSel, _ := a.SysCreateRGate(1, 64)
+		rgEp, _ := a.SysActivate(rgSel)
+		for i := 0; i < n+1; i++ { // +1 matches rpcServer's warmup round
+			if _, err := a.Call(sgEp, rgEp, []byte{byte(i)}); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+		}
+	})
+	sys.Run(30 * sim.Second)
+	if !root.Done() {
+		t.Fatal("workload did not finish")
+	}
+	return sys
+}
+
+// TestTraceHashDeterminism runs the Figure-6 microbench workload twice and
+// requires the full event streams to hash identically: the trace layer must
+// not perturb the simulation, and the simulation must stay deterministic
+// down to every recorded event.
+func TestTraceHashDeterminism(t *testing.T) {
+	hash := func(sameTile bool) (uint64, int) {
+		sys := runTracedRPC(t, sameTile, 10)
+		defer sys.Shutdown()
+		rec := sys.Eng.Tracer()
+		return rec.Hash(), len(rec.Events())
+	}
+	for _, sameTile := range []bool{false, true} {
+		h1, n1 := hash(sameTile)
+		h2, n2 := hash(sameTile)
+		if n1 == 0 {
+			t.Fatalf("sameTile=%v: trace is empty", sameTile)
+		}
+		if n1 != n2 || h1 != h2 {
+			t.Errorf("sameTile=%v: traces diverge: %d events/%#x vs %d events/%#x",
+				sameTile, n1, h1, n2, h2)
+		}
+	}
+}
+
+// TestCountersReconcileWithTrace checks that the migrated registry counters
+// and the structured event stream agree: every DTU send/reply counted must
+// appear as a dtu_cmd event, and every context switch counted per target
+// must appear as a ctx_switch event with that destination. The workload is
+// tile-local so that core requests and TileMux switches are exercised.
+func TestCountersReconcileWithTrace(t *testing.T) {
+	sys := runTracedRPC(t, true, 20)
+	defer sys.Shutdown()
+	rec := sys.Eng.Tracer()
+
+	// Counter totals across every DTU in the system (controller + tiles).
+	var cSends, cReplies int64
+	cSends += sys.Kern.DTU().Sends()
+	cReplies += sys.Kern.DTU().Replies()
+	for _, mux := range sys.Muxes {
+		cSends += mux.DTU().Sends()
+		cReplies += mux.DTU().Replies()
+	}
+
+	// Event totals: only commands that completed without error increment the
+	// per-command counters, and sends that fail in flight keep their count,
+	// so in this failure-free workload the two views must match exactly.
+	var eSends, eReplies int64
+	for _, ev := range rec.Events() {
+		if ev.Kind != trace.KindDTUCmd || ev.Arg3 != 0 {
+			continue
+		}
+		switch trace.DTUCmd(ev.Arg0) {
+		case trace.CmdSend:
+			eSends++
+		case trace.CmdReply:
+			eReplies++
+		}
+	}
+	if cSends == 0 || cReplies == 0 {
+		t.Fatal("workload produced no sends/replies")
+	}
+	if cSends != eSends {
+		t.Errorf("send counters = %d, trace events = %d", cSends, eSends)
+	}
+	if cReplies != eReplies {
+		t.Errorf("reply counters = %d, trace events = %d", cReplies, eReplies)
+	}
+
+	// Per-destination context switches: registry snapshot vs event stream.
+	for tile, mux := range sys.Muxes {
+		targets := mux.SwitchTargets()
+		var total int64
+		fromEvents := make(map[int64]int64)
+		for _, ev := range rec.Events() {
+			if ev.Kind == trace.KindCtxSwitch && int(ev.Tile) == int(tile) {
+				fromEvents[ev.Arg1]++
+			}
+		}
+		for id, n := range targets {
+			total += n
+			if fromEvents[int64(id)] != n {
+				t.Errorf("tile %d: switches to act %d: counter=%d events=%d",
+					tile, id, n, fromEvents[int64(id)])
+			}
+		}
+		if total != mux.CtxSwitches() {
+			t.Errorf("tile %d: switch targets sum to %d, CtxSwitches = %d",
+				tile, total, mux.CtxSwitches())
+		}
+	}
+}

@@ -3,6 +3,7 @@ package dtu
 import (
 	"m3v/internal/noc"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // This file implements the unprivileged command interface: the commands
@@ -29,6 +30,13 @@ type SendArgs struct {
 // acknowledges storage (or reports an error). ErrNoRecipient restores the
 // credit, since no message is in flight afterwards.
 func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
+	start := d.eng.Now()
+	err := d.send(p, a)
+	d.traceCmd(start, trace.CmdSend, a.Ep, len(a.Data), err)
+	return err
+}
+
+func (d *DTU) send(p *sim.Proc, a SendArgs) error {
 	d.charge(p, d.costs.SendCmd)
 	e, err := d.epFor(a.Ep, EpSend)
 	if err != nil {
@@ -58,7 +66,7 @@ func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 		ReplyLabel: a.ReplyLabel,
 		Data:       append([]byte(nil), a.Data...),
 	}
-	d.Sends++
+	d.m.sends.Inc()
 	err = d.issueMsg(p, e.TgtTile, msgPacket{DstEp: e.TgtEp, Msg: msg, CrdRet: -1}, len(a.Data))
 	if err != nil {
 		e.Credits++ // command failed; nothing in flight
@@ -72,6 +80,13 @@ func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 // the reply endpoint recorded in the slot, frees the slot, and piggybacks
 // the credit return for the original request.
 func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
+	start := d.eng.Now()
+	err := d.reply(p, ep, slot, data, vaddr)
+	d.traceCmd(start, trace.CmdReply, ep, len(data), err)
+	return err
+}
+
+func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
 	d.charge(p, d.costs.ReplyCmd)
 	e, err := d.epFor(ep, EpReceive)
 	if err != nil {
@@ -102,7 +117,7 @@ func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) e
 		CrdEp:   -1,
 		Data:    append([]byte(nil), data...),
 	}
-	d.Replies++
+	d.m.replies.Inc()
 	err = d.issueMsg(p, req.SndTile, msgPacket{DstEp: req.ReplyEp, Msg: reply, CrdRet: req.CrdEp}, len(data))
 	p.Sleep(d.costs.xferTime(len(data)))
 	return err
@@ -142,6 +157,17 @@ func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) 
 // receive endpoint without freeing its slot. The slot index must be passed
 // to Reply or Ack later.
 func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
+	start := d.eng.Now()
+	slot, m, err := d.fetch(p, ep)
+	bytes := 0
+	if m != nil {
+		bytes = len(m.Data)
+	}
+	d.traceCmd(start, trace.CmdFetch, ep, bytes, err)
+	return slot, m, err
+}
+
+func (d *DTU) fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
 	d.charge(p, d.costs.FetchCmd)
 	e, err := d.epFor(ep, EpReceive)
 	if err != nil {
@@ -158,7 +184,7 @@ func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
 	if d.curMsgs > 0 {
 		d.curMsgs--
 	}
-	d.Fetches++
+	d.m.fetches.Inc()
 	m := e.slots[slot].msg
 	p.Sleep(d.costs.xferTime(len(m.Data))) // message moves over the cache bus
 	return slot, &m, nil
@@ -167,6 +193,13 @@ func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
 // Ack executes ACK_MSG: it frees a fetched slot and returns the credit to
 // the sender (for messages that are not answered with Reply).
 func (d *DTU) Ack(p *sim.Proc, ep EpID, slot int) error {
+	start := d.eng.Now()
+	err := d.ack(p, ep, slot)
+	d.traceCmd(start, trace.CmdAck, ep, 0, err)
+	return err
+}
+
+func (d *DTU) ack(p *sim.Proc, ep EpID, slot int) error {
 	d.charge(p, d.costs.AckCmd)
 	e, err := d.epFor(ep, EpReceive)
 	if err != nil {
@@ -182,7 +215,7 @@ func (d *DTU) Ack(p *sim.Proc, ep EpID, slot int) error {
 	}
 	e.occupied &^= bit
 	e.unread &^= bit
-	d.Acks++
+	d.m.acks.Inc()
 	if msg.CrdEp >= 0 {
 		d.eng.After(d.costs.Proc, func() {
 			d.net.Send(&noc.Packet{
@@ -198,6 +231,13 @@ func (d *DTU) Ack(p *sim.Proc, ep EpID, slot int) error {
 // the memory endpoint's region. The local buffer (vaddr) and the region
 // window are both limited to a single page per command.
 func (d *DTU) Read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byte, error) {
+	start := d.eng.Now()
+	data, err := d.read(p, ep, off, n, vaddr)
+	d.traceCmd(start, trace.CmdRead, ep, n, err)
+	return data, err
+}
+
+func (d *DTU) read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byte, error) {
 	d.charge(p, d.costs.XferCmd)
 	e, err := d.epFor(ep, EpMemory)
 	if err != nil {
@@ -232,7 +272,7 @@ func (d *DTU) Read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byt
 	for !done {
 		p.Park()
 	}
-	d.Reads++
+	d.m.reads.Inc()
 	p.Sleep(d.costs.xferTime(n))
 	return data, nil
 }
@@ -240,6 +280,13 @@ func (d *DTU) Read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byt
 // Write executes the WRITE command: a DMA write into the memory endpoint's
 // region.
 func (d *DTU) Write(p *sim.Proc, ep EpID, off uint64, data []byte, vaddr uint64) error {
+	start := d.eng.Now()
+	err := d.write(p, ep, off, data, vaddr)
+	d.traceCmd(start, trace.CmdWrite, ep, len(data), err)
+	return err
+}
+
+func (d *DTU) write(p *sim.Proc, ep EpID, off uint64, data []byte, vaddr uint64) error {
 	d.charge(p, d.costs.XferCmd)
 	e, err := d.epFor(ep, EpMemory)
 	if err != nil {
@@ -274,7 +321,7 @@ func (d *DTU) Write(p *sim.Proc, ep EpID, off uint64, data []byte, vaddr uint64)
 	for !done {
 		p.Park()
 	}
-	d.Writes++
+	d.m.writes.Inc()
 	p.Sleep(d.costs.xferTime(len(data)))
 	return nil
 }

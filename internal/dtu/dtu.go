@@ -6,6 +6,7 @@ import (
 	"m3v/internal/mem"
 	"m3v/internal/noc"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // coreReqDepth is the depth of the vDTU's core-request queue (paper §3.8:
@@ -42,10 +43,36 @@ type DTU struct {
 	// OnCredits fires when credits return to a send endpoint.
 	OnCredits func(ep EpID)
 
-	// Counters for tests and reports.
-	Sends, Replies, Fetches, Acks, Reads, Writes int64
-	CoreReqsRaised                               int64
-	NackedDeliveries                             int64
+	// rec is the engine's structured event recorder; m holds this DTU's
+	// instruments in the shared metrics registry (always live).
+	rec *trace.Recorder
+	m   dtuMetrics
+}
+
+// dtuMetrics are the DTU's registry-backed counters, replacing the loose
+// exported counter fields of earlier versions. Read them through the
+// accessor methods (Sends, Replies, ...).
+type dtuMetrics struct {
+	sends, replies, fetches, acks, reads, writes *trace.Counter
+	coreReqs, nacked                             *trace.Counter
+	cmdTime                                      *trace.Histogram
+}
+
+func newDTUMetrics(m *trace.Metrics, tile noc.TileID) dtuMetrics {
+	c := func(what string) *trace.Counter {
+		return m.Counter(fmt.Sprintf("tile%02d.dtu.%s", tile, what))
+	}
+	return dtuMetrics{
+		sends:    c("sends"),
+		replies:  c("replies"),
+		fetches:  c("fetches"),
+		acks:     c("acks"),
+		reads:    c("reads"),
+		writes:   c("writes"),
+		coreReqs: c("core_reqs_raised"),
+		nacked:   c("nacked_deliveries"),
+		cmdTime:  m.Histogram(fmt.Sprintf("tile%02d.dtu.cmd_time", tile)),
+	}
 }
 
 // New creates a DTU, attaches it to the NoC, and returns it.
@@ -58,6 +85,8 @@ func New(eng *sim.Engine, net *noc.Network, tile noc.TileID, coreClock sim.Clock
 		virt:      virt,
 		costs:     DefaultCosts(),
 		curAct:    ActInvalid,
+		rec:       eng.Tracer(),
+		m:         newDTUMetrics(eng.Tracer().Metrics(), tile),
 	}
 	if virt {
 		d.tlb = NewTLB()
@@ -139,8 +168,10 @@ func (d *DTU) translate(vaddr uint64, n int, perm Perm) error {
 		return nil
 	}
 	if _, ok := d.tlb.Lookup(d.curAct, vaddr, perm); !ok {
+		d.traceTLB(false, vaddr)
 		return ErrTLBMiss
 	}
+	d.traceTLB(true, vaddr)
 	return nil
 }
 
@@ -225,13 +256,13 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 	}
 	slot := e.freeSlot()
 	if slot < 0 {
-		d.NackedDeliveries++
+		d.m.nacked.Inc()
 		return false // receive buffer full: NoC-level backpressure
 	}
 	if d.virt && e.Act != d.curAct && e.Act != ActInvalid && len(d.coreReqs) >= coreReqDepth {
 		// Core-request queue overrun: absorbed by packet flow control
 		// (paper §3.8).
-		d.NackedDeliveries++
+		d.m.nacked.Inc()
 		return false
 	}
 	bit := uint64(1) << uint(slot)
@@ -277,7 +308,9 @@ func (d *DTU) returnCredits(ep EpID) {
 func (d *DTU) pushCoreReq(act ActID) {
 	wasEmpty := len(d.coreReqs) == 0
 	d.coreReqs = append(d.coreReqs, act)
-	d.CoreReqsRaised++
+	d.m.coreReqs.Inc()
+	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqRaise,
+		int64(act), int64(len(d.coreReqs)))
 	if wasEmpty {
 		d.injectIrq()
 	}

@@ -243,7 +243,7 @@ func TestReceiveBufferBackpressure(t *testing.T) {
 	if delivered != 5 {
 		t.Errorf("delivered = %d, want 5", delivered)
 	}
-	if r.d1.NackedDeliveries == 0 {
+	if r.d1.NackedDeliveries() == 0 {
 		t.Error("expected NACKed deliveries under buffer pressure")
 	}
 }
@@ -397,7 +397,7 @@ func TestCoreReqQueueOverrunBackpressure(t *testing.T) {
 			p.Sleep(100 * sim.Microsecond)
 		}
 	})
-	if r.d1.NackedDeliveries == 0 {
+	if r.d1.NackedDeliveries() == 0 {
 		t.Error("expected NACKs from core-request queue overrun")
 	}
 	if r.d1.PendingCoreReqs() != 0 {

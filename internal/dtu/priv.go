@@ -1,6 +1,9 @@
 package dtu
 
-import "m3v/internal/sim"
+import (
+	"m3v/internal/sim"
+	"m3v/internal/trace"
+)
 
 // This file implements the privileged interface, present only on the vDTU
 // and mapped only for TileMux (paper §3.4–§3.8). Calling a privileged
@@ -31,7 +34,9 @@ func (d *DTU) SwitchAct(p *sim.Proc, act ActID, msgs int) (oldAct ActID, oldMsgs
 func (d *DTU) InsertTLB(p *sim.Proc, act ActID, vaddr, paddr uint64, perm Perm) {
 	d.requirePriv()
 	d.charge(p, d.costs.PrivCmd)
-	d.tlb.Insert(act, vaddr, paddr, perm)
+	if vAct, vAddr, evicted := d.tlb.Insert(act, vaddr, paddr, perm); evicted {
+		d.rec.TLB(int64(d.eng.Now()), int(d.tile), trace.KindTLBEvict, int64(vAct), vAddr)
+	}
 }
 
 // InvalidateTLBPage drops one translation (page-table update).
@@ -68,7 +73,10 @@ func (d *DTU) AckCoreReq(p *sim.Proc) {
 	if len(d.coreReqs) == 0 {
 		return
 	}
+	act := d.coreReqs[0]
 	d.coreReqs = d.coreReqs[1:]
+	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqDrain,
+		int64(act), int64(len(d.coreReqs)))
 	if len(d.coreReqs) > 0 {
 		d.injectIrq()
 	}

@@ -55,18 +55,22 @@ func (t *TLB) Lookup(act ActID, vaddr uint64, perm Perm) (paddr uint64, ok bool)
 }
 
 // Insert adds a translation, evicting the oldest entry when full. Called by
-// TileMux through the privileged interface.
-func (t *TLB) Insert(act ActID, vaddr, paddr uint64, perm Perm) {
+// TileMux through the privileged interface. It reports the evicted entry's
+// activity and virtual page address; evicted is false when no entry was
+// displaced.
+func (t *TLB) Insert(act ActID, vaddr, paddr uint64, perm Perm) (victimAct ActID, victimVaddr uint64, evicted bool) {
 	k := tlbKey{act, vaddr >> PageShift}
 	if _, exists := t.entries[k]; !exists {
 		if len(t.entries) >= tlbEntries {
 			victim := t.fifo[0]
 			t.fifo = t.fifo[1:]
 			delete(t.entries, victim)
+			victimAct, victimVaddr, evicted = victim.act, victim.vpage<<PageShift, true
 		}
 		t.fifo = append(t.fifo, k)
 	}
 	t.entries[k] = tlbVal{ppage: paddr >> PageShift, perm: perm}
+	return victimAct, victimVaddr, evicted
 }
 
 // InvalidatePage removes one translation.

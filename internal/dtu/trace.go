@@ -1,0 +1,86 @@
+package dtu
+
+import (
+	"m3v/internal/sim"
+	"m3v/internal/trace"
+)
+
+// This file carries the DTU's observability surface: registry-backed
+// counter accessors (the former exported counter fields) and the typed
+// trace events wrapped around the unprivileged command interface.
+
+// Sends reports the number of SEND commands that passed validation.
+func (d *DTU) Sends() int64 { return d.m.sends.Value() }
+
+// Replies reports the number of REPLY commands that passed validation.
+func (d *DTU) Replies() int64 { return d.m.replies.Value() }
+
+// Fetches reports the number of successful FETCH_MSG commands.
+func (d *DTU) Fetches() int64 { return d.m.fetches.Value() }
+
+// Acks reports the number of successful ACK_MSG commands.
+func (d *DTU) Acks() int64 { return d.m.acks.Value() }
+
+// Reads reports the number of successful READ commands.
+func (d *DTU) Reads() int64 { return d.m.reads.Value() }
+
+// Writes reports the number of successful WRITE commands.
+func (d *DTU) Writes() int64 { return d.m.writes.Value() }
+
+// CoreReqsRaised reports the number of core requests pushed to the queue.
+func (d *DTU) CoreReqsRaised() int64 { return d.m.coreReqs.Value() }
+
+// NackedDeliveries reports deliveries rejected for NoC-level backpressure
+// (full receive buffer or core-request queue overrun).
+func (d *DTU) NackedDeliveries() int64 { return d.m.nacked.Value() }
+
+// errCode maps a command error to the stable small integer recorded in
+// trace events (0 = success). The codes are part of the trace format.
+func errCode(err error) int64 {
+	switch err {
+	case nil:
+		return 0
+	case ErrUnknownEp:
+		return 1
+	case ErrNoCredits:
+		return 2
+	case ErrNoRecipient:
+		return 3
+	case ErrTLBMiss:
+		return 4
+	case ErrNoPerm:
+		return 5
+	case ErrMsgTooLarge:
+		return 6
+	case ErrInvalidArgs:
+		return 7
+	case ErrPageBoundary:
+		return 8
+	case ErrNoMessage:
+		return 9
+	case ErrAborted:
+		return 10
+	default:
+		return -1
+	}
+}
+
+// traceCmd records one finished unprivileged command: an event when the
+// stream is enabled, and the always-on duration histogram.
+func (d *DTU) traceCmd(start sim.Time, cmd trace.DTUCmd, ep EpID, bytes int, err error) {
+	dur := d.eng.Now() - start
+	d.m.cmdTime.Observe(int64(dur))
+	d.rec.DTUCmd(int64(start), int64(dur), int(d.tile), cmd, int64(ep), int64(bytes), errCode(err))
+}
+
+// traceTLB records the outcome of the single per-command TLB check.
+func (d *DTU) traceTLB(hit bool, vaddr uint64) {
+	if !d.rec.Enabled() {
+		return
+	}
+	kind := trace.KindTLBMiss
+	if hit {
+		kind = trace.KindTLBHit
+	}
+	d.rec.TLB(int64(d.eng.Now()), int(d.tile), kind, int64(d.curAct), vaddr)
+}

@@ -20,6 +20,7 @@ import (
 	"m3v/internal/noc"
 	"m3v/internal/proto"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // Well-known endpoints on the controller tile.
@@ -132,8 +133,10 @@ type Kernel struct {
 	// M³x driver performs its time-slice rotations here.
 	OnIdle func(p *sim.Proc)
 
-	// Syscalls counts handled system calls, for reports.
-	Syscalls int64
+	// rec is the engine's structured event recorder; cSyscalls is the
+	// registry counter behind the Syscalls accessor.
+	rec       *trace.Recorder
+	cSyscalls *trace.Counter
 }
 
 // New creates a controller bound to the given (non-virtualized) DTU. The
@@ -152,6 +155,8 @@ func New(eng *sim.Engine, d *dtu.DTU, clock sim.Clock) *Kernel {
 		nextSess:  1,
 		dramAlloc: make(map[noc.TileID]*mem.Allocator),
 		bindings:  make(map[*cap.Capability]binding),
+		rec:       eng.Tracer(),
+		cSyscalls: eng.Tracer().Metrics().Counter("kernel.syscalls"),
 	}
 	d.OnMsgArrived = func(dtu.ActID) {
 		if k.proc != nil {
@@ -164,6 +169,9 @@ func New(eng *sim.Engine, d *dtu.DTU, clock sim.Clock) *Kernel {
 
 // Costs returns the timing model for calibration.
 func (k *Kernel) Costs() *Costs { return &k.costs }
+
+// Syscalls reports the number of handled system calls.
+func (k *Kernel) Syscalls() int64 { return k.cSyscalls.Value() }
 
 // Clock returns the controller core's clock.
 func (k *Kernel) Clock() sim.Clock { return k.clock }
@@ -216,10 +224,17 @@ func (k *Kernel) loop(p *sim.Proc) {
 			if err != nil {
 				break
 			}
-			k.Syscalls++
+			start := k.eng.Now()
+			k.cSyscalls.Inc()
 			p.Sleep(k.clock.Cycles(k.costs.Syscall))
 			caller := k.acts[uint32(msg.Label)]
 			resp, deferred := k.handleSyscall(p, caller, msg, slot)
+			if k.rec.Enabled() {
+				if op, _, err := proto.ParseOp(msg.Data); err == nil {
+					k.rec.Syscall(int64(start), int64(k.eng.Now()-start),
+						int(k.d.Tile()), int64(op), int64(msg.Label))
+				}
+			}
 			if deferred {
 				continue // reply comes later (e.g. ActivityWait)
 			}

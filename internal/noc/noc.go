@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // TileID identifies a tile attached to the network.
@@ -64,23 +65,43 @@ type Network struct {
 	// packet; it models serialization contention at the router.
 	routerFree []sim.Time
 
-	// Counters for tests and reporting.
-	Delivered int64
-	Nacked    int64
-	Dropped   int64
-	Bytes     int64
+	// rec is the engine's structured event recorder; the named counters
+	// below live in its always-on metrics registry.
+	rec        *trace.Recorder
+	cDelivered *trace.Counter
+	cNacked    *trace.Counter
+	cDropped   *trace.Counter
+	cBytes     *trace.Counter
 }
 
 // New creates a network over the given topology.
 func New(eng *sim.Engine, topo Topology, cfg Config) *Network {
+	reg := eng.Tracer().Metrics()
 	return &Network{
 		eng:        eng,
 		topo:       topo,
 		cfg:        cfg,
 		handlers:   make(map[TileID]Handler),
 		routerFree: make([]sim.Time, topo.Routers()),
+		rec:        eng.Tracer(),
+		cDelivered: reg.Counter("noc.delivered"),
+		cNacked:    reg.Counter("noc.nacked"),
+		cDropped:   reg.Counter("noc.dropped"),
+		cBytes:     reg.Counter("noc.bytes"),
 	}
 }
+
+// Delivered reports the number of packets accepted by their destination.
+func (n *Network) Delivered() int64 { return n.cDelivered.Value() }
+
+// Nacked reports the number of delivery attempts rejected by the destination.
+func (n *Network) Nacked() int64 { return n.cNacked.Value() }
+
+// Dropped reports the number of packets dropped after exhausting retries.
+func (n *Network) Dropped() int64 { return n.cDropped.Value() }
+
+// Bytes reports the total bytes of all delivered packets.
+func (n *Network) Bytes() int64 { return n.cBytes.Value() }
 
 // Attach registers the packet handler for a tile. Attaching twice replaces
 // the handler.
@@ -138,13 +159,15 @@ func (n *Network) deliver(pkt *Packet, attempt int) {
 		panic(fmt.Sprintf("noc: no handler attached to tile %d", pkt.Dst))
 	}
 	if h.Deliver(pkt) {
-		n.Delivered++
-		n.Bytes += int64(pkt.Size)
+		n.cDelivered.Inc()
+		n.cBytes.Add(int64(pkt.Size))
+		n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), true)
 		return
 	}
-	n.Nacked++
+	n.cNacked.Inc()
+	n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), false)
 	if n.cfg.MaxRetries > 0 && attempt+1 >= n.cfg.MaxRetries {
-		n.Dropped++
+		n.cDropped.Inc()
 		return
 	}
 	n.eng.After(n.cfg.RetryDelay, func() { n.transmit(pkt, attempt+1) })

@@ -64,8 +64,8 @@ func TestDeliveryLatency(t *testing.T) {
 	if want := 145 * sim.Nanosecond; deliveredAt != want {
 		t.Errorf("delivered at %v, want %v", deliveredAt, want)
 	}
-	if n.Delivered != 1 {
-		t.Errorf("delivered count = %d, want 1", n.Delivered)
+	if n.Delivered() != 1 {
+		t.Errorf("delivered count = %d, want 1", n.Delivered())
 	}
 }
 
@@ -103,8 +103,8 @@ func TestNackRetry(t *testing.T) {
 	if attempts != 3 {
 		t.Errorf("attempts = %d, want 3", attempts)
 	}
-	if n.Nacked != 2 || n.Delivered != 1 {
-		t.Errorf("nacked=%d delivered=%d, want 2/1", n.Nacked, n.Delivered)
+	if n.Nacked() != 2 || n.Delivered() != 1 {
+		t.Errorf("nacked=%d delivered=%d, want 2/1", n.Nacked(), n.Delivered())
 	}
 }
 
@@ -123,8 +123,8 @@ func TestDropAfterMaxRetries(t *testing.T) {
 	if attempts != 3 {
 		t.Errorf("attempts = %d, want 3", attempts)
 	}
-	if n.Dropped != 1 {
-		t.Errorf("dropped = %d, want 1", n.Dropped)
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", n.Dropped())
 	}
 }
 

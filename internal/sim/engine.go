@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"m3v/internal/trace"
 )
 
 // event is a scheduled callback. Events with equal timestamps execute in
@@ -53,18 +55,29 @@ type Engine struct {
 	running bool
 	live    int // number of spawned, not yet finished processes
 	tracer  func(Time, string)
+
+	rec    *trace.Recorder
+	evExec *trace.Counter
 }
 
 // NewEngine returns a ready-to-use engine at time zero.
 func NewEngine() *Engine {
+	rec := trace.NewRecorder()
 	return &Engine{
 		parked: make(chan struct{}),
 		dead:   make(chan struct{}),
+		rec:    rec,
+		evExec: rec.Metrics().Counter("sim.events_executed"),
 	}
 }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// Tracer returns the engine's structured event recorder (never nil). All
+// components built on this engine share it: the recorder's metrics registry
+// is always live, while the event stream is off until Tracer().Enable().
+func (e *Engine) Tracer() *trace.Recorder { return e.rec }
 
 // SetTracer installs a debug tracer invoked for engine-level events. A nil
 // tracer disables tracing.
@@ -95,7 +108,7 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the simulated time at which it stopped.
-func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
 // RunUntil executes events with timestamps <= limit, then returns. The
 // engine's clock advances to the timestamp of the last executed event (or to
@@ -114,6 +127,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
+		e.evExec.Inc()
 		ev.fn()
 	}
 	return e.now

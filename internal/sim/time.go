@@ -23,6 +23,12 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
+// MaxTime is the largest schedulable point in simulated time (about 53
+// simulated days). Engine.Run executes events up to and including MaxTime;
+// it exists so "run to completion" has a named bound instead of a magic
+// sentinel.
+const MaxTime Time = 1<<62 - 1
+
 // String formats the time with an adaptive unit, e.g. "12.5us".
 func (t Time) String() string {
 	switch {

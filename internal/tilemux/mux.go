@@ -13,6 +13,7 @@ import (
 	"m3v/internal/dtu"
 	"m3v/internal/proto"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // EPConfig names the endpoints TileMux itself uses. The controller
@@ -52,13 +53,14 @@ type Mux struct {
 	// while it was briefly not current; folded into the next switch.
 	curExtra int
 
-	// Counters for reports and tests.
-	CtxSwitches int64
-	Irqs        int64
-	PageFaults  int64
-	// SwitchTargets counts context switches per destination activity
-	// (ActIdle for switches to idle), a scheduling diagnostic.
-	SwitchTargets map[dtu.ActID]int64
+	// rec is the engine's structured event recorder; the named counters
+	// below live in its always-on metrics registry.
+	rec           *trace.Recorder
+	cCtxSwitches  *trace.Counter
+	cIrqs         *trace.Counter
+	cPageFaults   *trace.Counter
+	hSwitchTime   *trace.Histogram
+	switchTargets map[dtu.ActID]*trace.Counter
 }
 
 // New creates a TileMux for the given vDTU, wires its interrupt handlers,
@@ -67,6 +69,8 @@ func New(eng *sim.Engine, clock sim.Clock, d *dtu.DTU, eps EPConfig) *Mux {
 	if !d.Virtualized() {
 		panic("tilemux: requires a virtualized DTU")
 	}
+	reg := eng.Tracer().Metrics()
+	pfx := fmt.Sprintf("tile%02d.mux.", d.Tile())
 	m := &Mux{
 		eng:           eng,
 		clock:         clock,
@@ -74,7 +78,12 @@ func New(eng *sim.Engine, clock sim.Clock, d *dtu.DTU, eps EPConfig) *Mux {
 		eps:           eps,
 		costs:         DefaultCosts(),
 		acts:          make(map[dtu.ActID]*Act),
-		SwitchTargets: make(map[dtu.ActID]int64),
+		rec:           eng.Tracer(),
+		cCtxSwitches:  reg.Counter(pfx + "ctx_switches"),
+		cIrqs:         reg.Counter(pfx + "irqs"),
+		cPageFaults:   reg.Counter(pfx + "page_faults"),
+		hSwitchTime:   reg.Histogram(pfx + "switch_time"),
+		switchTargets: make(map[dtu.ActID]*trace.Counter),
 	}
 	d.SetCurAct(ActIdle)
 	d.OnCoreReq = func() { m.muxProc.Wake() }
@@ -89,6 +98,40 @@ func New(eng *sim.Engine, clock sim.Clock, d *dtu.DTU, eps EPConfig) *Mux {
 
 // Costs returns the timing model for calibration by benches.
 func (m *Mux) Costs() *Costs { return &m.costs }
+
+// CtxSwitches reports the number of context switches performed.
+func (m *Mux) CtxSwitches() int64 { return m.cCtxSwitches.Value() }
+
+// Irqs reports the number of core-request/message interrupts taken.
+func (m *Mux) Irqs() int64 { return m.cIrqs.Value() }
+
+// PageFaults reports the number of page faults forwarded to pagers.
+func (m *Mux) PageFaults() int64 { return m.cPageFaults.Value() }
+
+// SwitchTargets returns a snapshot of context switches per destination
+// activity (ActIdle for switches to idle), a scheduling diagnostic.
+func (m *Mux) SwitchTargets() map[dtu.ActID]int64 {
+	out := make(map[dtu.ActID]int64, len(m.switchTargets))
+	for id, c := range m.switchTargets {
+		out[id] = c.Value()
+	}
+	return out
+}
+
+// switchTarget returns the per-destination switch counter, creating and
+// registering it on first use.
+func (m *Mux) switchTarget(id dtu.ActID) *trace.Counter {
+	c := m.switchTargets[id]
+	if c == nil {
+		name := fmt.Sprintf("tile%02d.mux.switch_to.act%d", m.d.Tile(), id)
+		if id == ActIdle {
+			name = fmt.Sprintf("tile%02d.mux.switch_to.idle", m.d.Tile())
+		}
+		c = m.rec.Metrics().Counter(name)
+		m.switchTargets[id] = c
+	}
+	return c
+}
 
 // DTU returns the tile's vDTU.
 func (m *Mux) DTU() *dtu.DTU { return m.d }
@@ -235,15 +278,22 @@ func (m *Mux) release() {
 // previous activity's CUR_ACT count is saved and — per the lost-wakeup rule
 // of paper §4.2 — a blocked activity with pending messages is made ready
 // again instead of staying blocked.
-func (m *Mux) switchTo(p *sim.Proc, next *Act) {
-	m.CtxSwitches++
+func (m *Mux) switchTo(p *sim.Proc, next *Act, reason trace.SwitchReason) {
+	start := m.eng.Now()
 	p.Sleep(m.cy(m.costs.CtxSwitch))
 	nid, nmsgs := ActIdle, 0
 	if next != nil {
 		nid, nmsgs = next.ID, next.msgs
 	}
-	m.SwitchTargets[nid]++
 	old, oldMsgs := m.d.SwitchAct(p, nid, nmsgs)
+	// Count the switch only once it completed: a switch still sleeping when
+	// the engine stops must not leave the counters out of step with the
+	// per-target counts and the event stream.
+	m.cCtxSwitches.Inc()
+	m.switchTarget(nid).Inc()
+	dur := int64(m.eng.Now() - start)
+	m.hSwitchTime.Observe(dur)
+	m.rec.CtxSwitch(int64(start), dur, int(m.d.Tile()), int64(old), int64(nid), reason)
 	oldMsgs += m.curExtra
 	m.curExtra = 0
 	if oa := m.acts[old]; oa != nil {
@@ -367,7 +417,8 @@ func (m *Mux) muxLoop(p *sim.Proc) {
 		}
 		m.acquire(p, true)
 		if m.d.PendingCoreReqs() > 0 || m.d.HasUnread(m.eps.KernRgate) || m.d.HasUnread(m.eps.PfRgate) {
-			m.Irqs++
+			m.cIrqs.Inc()
+			m.rec.Irq(int64(m.eng.Now()), int(m.d.Tile()), int64(m.d.PendingCoreReqs()))
 			p.Sleep(m.cy(m.costs.Irq))
 			m.asMux(p, func() {
 				m.handleMuxMsgs(p)
@@ -375,7 +426,7 @@ func (m *Mux) muxLoop(p *sim.Proc) {
 		}
 		if m.cur == nil {
 			if next := m.popRun(); next != nil {
-				m.switchTo(p, next)
+				m.switchTo(p, next, trace.SwitchDispatch)
 			}
 		}
 		m.release()

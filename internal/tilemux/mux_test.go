@@ -131,8 +131,8 @@ func TestRoundRobinPreemption(t *testing.T) {
 	if len(finished) != 2 {
 		t.Fatalf("finished = %v, want both", finished)
 	}
-	if r.mux.CtxSwitches < 4 {
-		t.Errorf("ctx switches = %d, want >= 4 (preemptive sharing)", r.mux.CtxSwitches)
+	if r.mux.CtxSwitches() < 4 {
+		t.Errorf("ctx switches = %d, want >= 4 (preemptive sharing)", r.mux.CtxSwitches())
 	}
 	// With equal demand and round robin, both finish within ~1 timeslice of
 	// each other near 2x the single-activity runtime (~10ms).
@@ -204,11 +204,11 @@ func TestLocalPingPongThroughVDTU(t *testing.T) {
 	if got != want {
 		t.Errorf("sum of replies = %d, want %d", got, want)
 	}
-	if r.mux.Irqs == 0 {
+	if r.mux.Irqs() == 0 {
 		t.Error("expected core-request interrupts for the blocked recipient")
 	}
-	if r.mux.CtxSwitches < 2*rounds {
-		t.Errorf("ctx switches = %d, want >= %d", r.mux.CtxSwitches, 2*rounds)
+	if r.mux.CtxSwitches() < 2*rounds {
+		t.Errorf("ctx switches = %d, want >= %d", r.mux.CtxSwitches(), 2*rounds)
 	}
 }
 
@@ -246,9 +246,9 @@ func TestWaitPollsWhenAlone(t *testing.T) {
 	if recvAt > 600*sim.Microsecond {
 		t.Errorf("received at %v, want < 600us (poll latency)", recvAt)
 	}
-	if r.mux.CtxSwitches != 1 {
+	if r.mux.CtxSwitches() != 1 {
 		// Exactly the initial dispatch from idle; none during the wait.
-		t.Errorf("ctx switches = %d, want 1 (polling, not blocking)", r.mux.CtxSwitches)
+		t.Errorf("ctx switches = %d, want 1 (polling, not blocking)", r.mux.CtxSwitches())
 	}
 }
 
@@ -405,8 +405,8 @@ func TestPageFaultThroughPager(t *testing.T) {
 	if !faultDone {
 		t.Fatal("page fault was not resolved")
 	}
-	if r.mux.PageFaults != 1 {
-		t.Errorf("page faults = %d, want 1", r.mux.PageFaults)
+	if r.mux.PageFaults() != 1 {
+		t.Errorf("page faults = %d, want 1", r.mux.PageFaults())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"m3v/internal/dtu"
 	"m3v/internal/proto"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // This file implements the TMCalls: the trap interface activities use to
@@ -66,7 +67,7 @@ func (a *Act) ComputeTime(d sim.Time) {
 			m.runq = append(m.runq, a)
 			next := m.popRun()
 			a.BusyTime += m.eng.Now() - a.opStart
-			m.switchTo(p, next)
+			m.switchTo(p, next, trace.SwitchPreempt)
 			m.release()
 			continue
 		}
@@ -94,7 +95,7 @@ func (a *Act) WaitForMsg() {
 			a.wantMsg = true
 			a.state = actBlocked
 			a.BusyTime += m.eng.Now() - a.opStart
-			m.switchTo(p, next)
+			m.switchTo(p, next, trace.SwitchBlock)
 			m.release()
 			a.BeginOp() // parks until we are dispatched again
 			a.wantMsg = false
@@ -121,7 +122,7 @@ func (a *Act) Yield() {
 	a.state = actReady
 	m.runq = append(m.runq, a)
 	a.BusyTime += m.eng.Now() - a.opStart
-	m.switchTo(p, next)
+	m.switchTo(p, next, trace.SwitchYield)
 	m.release()
 	a.BeginOp()
 	a.EndOp()
@@ -138,6 +139,7 @@ func (a *Act) Exit(code int32) {
 	a.ExitCode = code
 	a.state = actExited
 	a.BusyTime += m.eng.Now() - a.opStart
+	m.rec.ActExit(int64(m.eng.Now()), int(m.d.Tile()), int64(a.ID), int64(code))
 	// Notify the controller through TileMux's own send endpoint.
 	if m.eps.KernSgate >= 0 {
 		m.asMux(p, func() {
@@ -149,7 +151,7 @@ func (a *Act) Exit(code int32) {
 		})
 	}
 	next := m.popRun()
-	m.switchTo(p, next)
+	m.switchTo(p, next, trace.SwitchExit)
 	m.release()
 }
 
@@ -174,7 +176,8 @@ func (a *Act) FixTranslation(vaddr uint64, perm dtu.Perm) error {
 		return fmt.Errorf("%w: act %d vaddr %#x", ErrSegfault, a.ID, vaddr)
 	}
 	// Major fault: ask the pager and block until the reply is processed.
-	m.PageFaults++
+	m.cPageFaults.Inc()
+	m.rec.PageFault(int64(m.eng.Now()), int(m.d.Tile()), int64(a.ID), vaddr, int64(perm))
 	a.pfPending = true
 	a.state = actFaulting
 	m.asMux(p, func() {
@@ -189,7 +192,7 @@ func (a *Act) FixTranslation(vaddr uint64, perm dtu.Perm) error {
 		}
 	})
 	a.BusyTime += m.eng.Now() - a.opStart
-	m.switchTo(p, m.popRun())
+	m.switchTo(p, m.popRun(), trace.SwitchFault)
 	m.release()
 	a.BeginOp() // parks until the pager reply re-readies us
 	// Retry: the pager must have mapped the page by now.

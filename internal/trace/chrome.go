@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports recorded event streams in the Chrome trace-event JSON
+// format, loadable in chrome://tracing and https://ui.perfetto.dev. Each
+// tile becomes a "process"; each component becomes a "thread" inside it, so
+// the timeline shows per-tile lanes for DTU commands, TileMux scheduling,
+// kernel activity, and NoC traffic.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ps to chrome microseconds.
+func usOf(ps int64) float64 { return float64(ps) / 1e6 }
+
+// WriteChrome writes the recorder's events as Chrome trace-event JSON.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return writeChrome(w, []*Recorder{r}, 0)
+}
+
+// WriteChromeMerged writes several recorders (e.g. one per benchmarked
+// System) into a single trace; recorder i's tiles appear as processes
+// i*pidStride + tile. A pidStride of 0 uses 1000.
+func WriteChromeMerged(w io.Writer, recs []*Recorder, pidStride int) error {
+	return writeChrome(w, recs, pidStride)
+}
+
+func writeChrome(w io.Writer, recs []*Recorder, pidStride int) error {
+	if pidStride == 0 {
+		pidStride = 1000
+	}
+	var out chromeFile
+	type lane struct{ pid, tid int }
+	seen := make(map[lane]bool)
+	name := func(pid, tid int, ri int, comp Component) {
+		l := lane{pid, tid}
+		if seen[l] {
+			return
+		}
+		seen[l] = true
+		proc := fmt.Sprintf("tile %d", pid%pidStride)
+		if len(recs) > 1 {
+			proc = fmt.Sprintf("sys%d tile %d", ri, pid%pidStride)
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]interface{}{"name": proc}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]interface{}{"name": comp.String()}},
+		)
+	}
+	for ri, r := range recs {
+		for i := range r.Events() {
+			ev := &r.events[i]
+			pid := ri*pidStride + int(ev.Tile)
+			tid := int(ev.Comp) + 1 // tid 0 reserved for process metadata
+			name(pid, tid, ri, ev.Comp)
+			ce := chromeEvent{
+				Name: ev.Kind.String(),
+				Cat:  ev.Comp.String(),
+				Ts:   usOf(ev.At),
+				Pid:  pid,
+				Tid:  tid,
+				Args: chromeArgs(ev),
+			}
+			if ev.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = usOf(ev.Dur)
+			} else {
+				ce.Ph = "i"
+				ce.S = "t" // thread-scoped instant
+			}
+			if ev.Kind == KindDTUCmd {
+				ce.Name = "dtu_" + DTUCmd(ev.Arg0).String()
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	out.DisplayTimeUnit = "ns"
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// chromeArgs decodes an event's Arg fields into named values for the
+// trace-viewer detail pane.
+func chromeArgs(ev *Event) map[string]interface{} {
+	switch ev.Kind {
+	case KindCtxSwitch:
+		return map[string]interface{}{
+			"from": ev.Arg0, "to": ev.Arg1,
+			"reason": SwitchReason(ev.Arg2).String(),
+		}
+	case KindDTUCmd:
+		a := map[string]interface{}{
+			"cmd": DTUCmd(ev.Arg0).String(), "ep": ev.Arg1, "bytes": ev.Arg2,
+		}
+		if ev.Arg3 != 0 {
+			a["err"] = ev.Arg3
+		}
+		return a
+	case KindCoreReqRaise, KindCoreReqDrain:
+		return map[string]interface{}{"act": ev.Arg0, "depth": ev.Arg1}
+	case KindTLBHit, KindTLBMiss, KindTLBEvict:
+		return map[string]interface{}{
+			"act": ev.Arg0, "vaddr": fmt.Sprintf("%#x", uint64(ev.Arg1)),
+		}
+	case KindPageFault:
+		return map[string]interface{}{
+			"act": ev.Arg0, "vaddr": fmt.Sprintf("%#x", uint64(ev.Arg1)),
+			"perm": ev.Arg2,
+		}
+	case KindSyscall:
+		return map[string]interface{}{"op": ev.Arg0, "act": ev.Arg1}
+	case KindIrq:
+		return map[string]interface{}{"pending": ev.Arg0}
+	case KindNoCPacket:
+		a := map[string]interface{}{
+			"src": ev.Arg0, "dst": ev.Arg1, "bytes": ev.Arg2,
+		}
+		if ev.Arg3 == 0 {
+			a["nacked"] = true
+		}
+		return a
+	case KindActExit:
+		return map[string]interface{}{"act": ev.Arg0, "code": ev.Arg1}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Metrics is a registry of named counters and histograms. Unlike the event
+// stream it is always live: components create their instruments once at
+// construction time and bump them with plain int64 arithmetic, which
+// replaces the loose counter fields (DTU.Sends, Mux.CtxSwitches, ...) the
+// simulator used to scatter across structs.
+//
+// Not safe for concurrent use; the engine serializes all model code.
+type Metrics struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it at zero on
+// first use. Names are dotted paths, conventionally "tileNN.component.what".
+func (m *Metrics) Counter(name string) *Counter {
+	if c, ok := m.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	m.counters[name] = c
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it empty on
+// first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if h, ok := m.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	m.hists[name] = h
+	return h
+}
+
+// Counters returns all counters sorted by name.
+func (m *Metrics) Counters() []*Counter {
+	out := make([]*Counter, 0, len(m.counters))
+	for _, c := range m.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Histograms returns all histograms sorted by name.
+func (m *Metrics) Histograms() []*Histogram {
+	out := make([]*Histogram, 0, len(m.hists))
+	for _, h := range m.hists {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Snapshot returns the current counter values by name.
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.v
+	}
+	return out
+}
+
+// Counter is a monotonically named int64.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count. A nil counter reads as zero, so optional
+// instruments need no guards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram accumulates int64 observations (typically picosecond durations)
+// into power-of-two buckets plus count/sum/min/max, cheap enough to stay on
+// even when event tracing is off.
+type Histogram struct {
+	name     string
+	count    int64
+	sum      int64
+	min, max int64
+	// buckets[i] counts observations v with bitlen(v) == i, i.e. bucket 0
+	// holds v == 0 and bucket i holds 2^(i-1) <= v < 2^i.
+	buckets [65]int64
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean reports the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest observation, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty power-of-two buckets as (upper bound,
+// count) pairs in ascending order.
+func (h *Histogram) Buckets() (bounds []int64, counts []int64) {
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		var hi int64
+		if i == 0 {
+			hi = 0
+		} else if i >= 63 {
+			hi = 1<<63 - 1
+		} else {
+			hi = 1<<uint(i) - 1
+		}
+		bounds = append(bounds, hi)
+		counts = append(counts, n)
+	}
+	return bounds, counts
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"m3v/internal/stats"
+)
+
+// Summary renders a plain-text report: the metrics registry (all counters
+// and histogram summaries) followed by a per-kind breakdown of the recorded
+// event stream, built on the same table formatter the benchmark harness
+// uses.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	b.WriteString(r.metrics.Summary())
+	if n := len(r.Events()); n > 0 {
+		b.WriteByte('\n')
+		b.WriteString(r.eventSummary())
+	}
+	return b.String()
+}
+
+// Summary renders the registry's counters and histograms as aligned tables.
+func (m *Metrics) Summary() string {
+	var b strings.Builder
+	counters := m.Counters()
+	if len(counters) > 0 {
+		t := stats.NewTable("counter", "value")
+		for _, c := range counters {
+			t.AddRow(c.Name(), c.Value())
+		}
+		b.WriteString(t.String())
+	}
+	hists := m.Histograms()
+	if len(hists) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		t := stats.NewTable("histogram", "count", "mean", "min", "max")
+		for _, h := range hists {
+			t.AddRow(h.Name(), h.Count(), fmtPs(int64(h.Mean())), fmtPs(h.Min()), fmtPs(h.Max()))
+		}
+		b.WriteString(t.String())
+	}
+	if b.Len() == 0 {
+		return "(no metrics)\n"
+	}
+	return b.String()
+}
+
+// eventSummary tabulates the event stream per (kind) with counts and total
+// duration.
+func (r *Recorder) eventSummary() string {
+	var counts [numKinds]int64
+	var durs [numKinds]int64
+	for i := range r.events {
+		ev := &r.events[i]
+		counts[ev.Kind]++
+		durs[ev.Kind] += ev.Dur
+	}
+	t := stats.NewTable("event", "count", "total time")
+	for k := Kind(0); k < numKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		t.AddRow(k.String(), counts[k], fmtPs(durs[k]))
+	}
+	return fmt.Sprintf("events: %d recorded\n%s", len(r.events), t.String())
+}
+
+// fmtPs formats a picosecond quantity with an adaptive unit (mirrors
+// sim.Time.String without importing sim).
+func fmtPs(ps int64) string {
+	switch {
+	case ps < 0:
+		return "-" + fmtPs(-ps)
+	case ps < 1_000:
+		return fmt.Sprintf("%dps", ps)
+	case ps < 1_000_000:
+		return fmt.Sprintf("%.3gns", float64(ps)/1e3)
+	case ps < 1_000_000_000:
+		return fmt.Sprintf("%.4gus", float64(ps)/1e6)
+	case ps < 1_000_000_000_000:
+		return fmt.Sprintf("%.4gms", float64(ps)/1e9)
+	default:
+		return fmt.Sprintf("%.4gs", float64(ps)/1e12)
+	}
+}

@@ -55,7 +55,7 @@ func TestDemandPagingEndToEnd(t *testing.T) {
 		t.Errorf("delivered = %q", delivered)
 	}
 	// The child tile must have taken at least one page fault.
-	if pf := sys.Muxes[childTile].PageFaults; pf < 1 {
+	if pf := sys.Muxes[childTile].PageFaults(); pf < 1 {
 		t.Errorf("page faults on child tile = %d, want >= 1", pf)
 	}
 }
