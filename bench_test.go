@@ -11,6 +11,7 @@ package m3v_test
 // custom metrics carry the simulated results.
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -19,14 +20,47 @@ import (
 )
 
 // report prints the experiment table and exports each row as a benchmark
-// metric (metric units must not contain whitespace).
+// metric (metric units must not contain whitespace). Two distinct labels can
+// collapse to the same metric name once spaces become underscores ("find 1"
+// vs "find_1"); ReportMetric would then silently keep only the last value,
+// so colliding names get a #index suffix to keep every row visible.
 func report(b *testing.B, r *bench.Result) {
 	b.Helper()
 	b.Log("\n" + r.String())
-	for _, m := range r.Rows {
+	used := make(map[string]bool, len(r.Rows))
+	for i, m := range r.Rows {
 		name := strings.ReplaceAll(strings.TrimSpace(m.Label), " ", "_")
 		unit := strings.ReplaceAll(m.Unit, " ", "_")
-		b.ReportMetric(m.Value, name+"("+unit+")")
+		metric := name + "(" + unit + ")"
+		if used[metric] {
+			metric = name + "#" + strconv.Itoa(i) + "(" + unit + ")"
+			if used[metric] {
+				b.Fatalf("metric name %q still collides after dedup", metric)
+			}
+		}
+		used[metric] = true
+		b.ReportMetric(m.Value, metric)
+	}
+}
+
+// TestReportMetricCollisions pins the dedup: labels that only differ in
+// whitespace ("find 1" vs "find_1") must still export as distinct metrics.
+func TestReportMetricCollisions(t *testing.T) {
+	r := &bench.Result{ID: "collide", Title: "metric-name collisions"}
+	r.Add("find 1", 1, "runs/s", 0)
+	r.Add("find_1", 2, "runs/s", 0)
+	r.Add("plain", 3, "us", 0)
+	res := testing.Benchmark(func(b *testing.B) { report(b, r) })
+	for metric, want := range map[string]float64{
+		"find_1(runs/s)":   1,
+		"find_1#1(runs/s)": 2,
+		"plain(us)":        3,
+	} {
+		if got, ok := res.Extra[metric]; !ok {
+			t.Errorf("metric %q missing (got %v)", metric, res.Extra)
+		} else if got != want {
+			t.Errorf("metric %q = %v, want %v", metric, got, want)
+		}
 	}
 }
 

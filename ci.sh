@@ -20,6 +20,24 @@ go test -race ./...
 echo "== fuzz seeds =="
 go test -run '^Fuzz' ./internal/sim
 
+echo "== parallel sweep runner under race =="
+# The full race pass above already covers the heavy equivalence tests; this
+# re-runs the runner/registry mechanics uncached as an explicit gate.
+go test -race -count=1 -run 'TestRunPoints|TestForEachPoint' ./internal/bench
+go test -race -count=1 -run 'TestAutoRegisterConcurrent' ./internal/trace
+
+echo "== bench smoke =="
+# One iteration of the engine hot-path benchmarks (the alloc guards run as
+# regular tests) and of the fastest figure benchmark.
+go test -run '^$' -bench 'EngineSchedule|EnginePingPong' -benchtime 1x ./internal/sim
+go test -run '^$' -bench 'Fig9FindOneTile' -benchtime 1x .
+
+echo "== bench json =="
+# Record the perf trajectory: wall clock per experiment plus the
+# serial-vs-parallel comparison, which also gates on byte-identical tables.
+go run ./cmd/m3vbench -run fig9 -fig9-tiles 1,2 -compare-serial \
+    -bench-json BENCH_m3vbench.json
+
 if [ -n "${FUZZTIME:-}" ]; then
     echo "== fuzzing (${FUZZTIME}) =="
     go test -fuzz FuzzEngineOrdering -fuzztime "$FUZZTIME" ./internal/sim

@@ -1,16 +1,23 @@
 // m3vbench runs the reproduced experiments of the paper's evaluation and
 // prints their tables, including the paper's published values side by side.
 //
-//	m3vbench                         # everything (Figure 9 and 10 take a few minutes)
-//	m3vbench -run fig6               # one experiment: table1, sloc, fig6..fig10, voice
-//	m3vbench -run fig6 -trace t.json # also dump a merged Chrome trace of all runs
+//	m3vbench                          # everything, sweep points fanned across all CPUs
+//	m3vbench -run fig6                # one experiment: table1, sloc, fig6..fig10, voice
+//	m3vbench -run fig9 -parallel 4    # cap the sweep worker pool at 4
+//	m3vbench -run fig6 -trace t.json  # also dump a merged Chrome trace of all runs
+//	m3vbench -bench-json BENCH_m3vbench.json   # record wall-clock + rows as JSON
+//	m3vbench -run fig9 -compare-serial ...     # also run serially, assert identical tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"m3v/internal/bench"
 	"m3v/internal/trace"
@@ -30,11 +37,56 @@ var experiments = map[string]func() *bench.Result{
 
 var order = []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", "fig10", "ablation"}
 
+// benchRow is one table row in the -bench-json report.
+type benchRow struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Paper float64 `json:"paper,omitempty"`
+}
+
+// benchExperiment is one experiment's record in the -bench-json report.
+type benchExperiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMs float64    `json:"wall_ms"`
+	Rows   []benchRow `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Set by -compare-serial: the serial wall clock, the parallel/serial
+	// speedup, and whether the two tables were byte-identical.
+	SerialWallMs float64 `json:"serial_wall_ms,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	Identical    *bool   `json:"identical,omitempty"`
+}
+
+// benchReport is the BENCH_m3vbench.json schema (schema "m3vbench/v1"): the
+// per-experiment simulated metrics plus the simulator's own wall-clock
+// trajectory, so performance regressions of the simulator are recorded run
+// over run.
+type benchReport struct {
+	Schema      string            `json:"schema"`
+	Timestamp   string            `json:"timestamp"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	Parallel    int               `json:"parallel"`
+	Experiments []benchExperiment `json:"experiments"`
+	TotalWallMs float64           `json:"total_wall_ms"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	traceFile := flag.String("trace", "", "write a merged Chrome trace-event JSON file of all simulated runs")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of each simulated run")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent sweep points (1 = serial)")
+	benchJSON := flag.String("bench-json", "", "write wall-clock and simulated metrics to this JSON file")
+	compareSerial := flag.Bool("compare-serial", false, "run each experiment twice (parallel and -parallel 1), assert byte-identical tables, and record the speedup")
+	fig9Tiles := flag.String("fig9-tiles", "", "override the fig9 tile-count series, e.g. 1,2,4 (smoke runs)")
 	flag.Parse()
 
 	if *list {
@@ -43,8 +95,23 @@ func main() {
 		}
 		return
 	}
+	bench.SetParallelism(*parallel)
+	if *fig9Tiles != "" {
+		var tiles []int
+		for _, s := range strings.Split(*fig9Tiles, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fail("bad -fig9-tiles entry %q", s)
+			}
+			tiles = append(tiles, n)
+		}
+		bench.Fig9Tiles = tiles
+	}
 	// Experiments build their Systems internally; collect every recorder
-	// created while they run via the global auto-register hook.
+	// created while they run via the global auto-register hook. Under
+	// -parallel the registration order follows run completion, so merged
+	// traces are ordered by (run, timestamp) with run indices assigned in
+	// completion order rather than table order.
 	if *traceFile != "" || *metrics {
 		trace.SetAutoRegister(true, *traceFile != "")
 		defer trace.SetAutoRegister(false, false)
@@ -53,28 +120,65 @@ func main() {
 	if *run != "" {
 		ids = strings.Split(*run, ",")
 	}
+	report := benchReport{
+		Schema:    "m3vbench/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Parallel:  *parallel,
+	}
+	t0 := time.Now()
 	for _, id := range ids {
 		fn, ok := experiments[strings.TrimSpace(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
+			fail("unknown experiment %q (try -list)", id)
 		}
-		fmt.Println(fn())
+		start := time.Now()
+		r := fn()
+		wall := time.Since(start)
+		fmt.Println(r)
+		exp := benchExperiment{
+			ID:     r.ID,
+			Title:  r.Title,
+			WallMs: float64(wall.Microseconds()) / 1000,
+			Notes:  r.Notes,
+		}
+		for _, m := range r.Rows {
+			exp.Rows = append(exp.Rows, benchRow{Label: m.Label, Value: m.Value, Unit: m.Unit, Paper: m.Paper})
+		}
+		if *compareSerial {
+			bench.SetParallelism(1)
+			serialStart := time.Now()
+			sr := fn()
+			serialWall := time.Since(serialStart)
+			bench.SetParallelism(*parallel)
+			identical := sr.String() == r.String()
+			exp.SerialWallMs = float64(serialWall.Microseconds()) / 1000
+			if wall > 0 {
+				exp.Speedup = float64(serialWall) / float64(wall)
+			}
+			exp.Identical = &identical
+			fmt.Printf("compare-serial %s: parallel %.0fms, serial %.0fms (%.2fx), tables identical: %v\n\n",
+				r.ID, exp.WallMs, exp.SerialWallMs, exp.Speedup, identical)
+			if !identical {
+				fail("%s: parallel and serial tables differ — determinism violated", r.ID)
+			}
+		}
+		report.Experiments = append(report.Experiments, exp)
 	}
+	report.TotalWallMs = float64(time.Since(t0).Microseconds()) / 1000
+
 	recs := trace.Registered()
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			fail("trace: %v", err)
 		}
 		if err := trace.WriteChromeMerged(f, recs, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			fail("trace: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			fail("trace: %v", err)
 		}
 		total := 0
 		for _, r := range recs {
@@ -86,5 +190,17 @@ func main() {
 		for i, r := range recs {
 			fmt.Printf("--- run %d ---\n%s", i, r.Metrics().Summary())
 		}
+	}
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail("bench-json: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fail("bench-json: %v", err)
+		}
+		fmt.Printf("bench-json: %d experiments, %.0fms total -> %s\n",
+			len(report.Experiments), report.TotalWallMs, *benchJSON)
 	}
 }

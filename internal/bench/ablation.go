@@ -22,27 +22,38 @@ import (
 func Ablations() *Result {
 	r := &Result{ID: "ablation", Title: "Design-choice ablations"}
 
-	// --- 1: endpoint tagging vs TileMux mediation -----------------------
-	base := measureM3vRPC(false, 50)
-	mediated := measureRPCWithCosts(50, func(c *dtu.Costs) {
-		// Every command traps into TileMux: trap entry/exit, argument
-		// copy, endpoint-ownership validation in software, and the
-		// return — charged on top of the hardware command itself.
-		const mediationCycles = 2200
-		c.SendCmd += mediationCycles
-		c.ReplyCmd += mediationCycles
-		c.FetchCmd += mediationCycles
-		c.AckCmd += mediationCycles
-		c.XferCmd += mediationCycles
+	// The three measurements are independent systems; run them as sweep
+	// points.
+	pts := runPoints(3, func(i int) sim.Time {
+		switch i {
+		case 0:
+			return measureM3vRPC(false, 50)
+		case 1:
+			return measureRPCWithCosts(50, func(c *dtu.Costs) {
+				// Every command traps into TileMux: trap entry/exit, argument
+				// copy, endpoint-ownership validation in software, and the
+				// return — charged on top of the hardware command itself.
+				const mediationCycles = 2200
+				c.SendCmd += mediationCycles
+				c.ReplyCmd += mediationCycles
+				c.FetchCmd += mediationCycles
+				c.AckCmd += mediationCycles
+				c.XferCmd += mediationCycles
+			})
+		default:
+			// --- 2: single-page transfer restriction --------------------
+			// The restriction shows up as one command per page on the data
+			// path; report the measured per-command share of a 4 KiB read.
+			return measureRPCWithCosts(20, nil)
+		}
 	})
+	base, mediated, one := pts[0], pts[1], pts[2]
+
+	// --- 1: endpoint tagging vs TileMux mediation -----------------------
 	r.Add("remote RPC, tagged endpoints", base.Micros(), "us", 25)
 	r.Add("remote RPC, TileMux-mediated", mediated.Micros(), "us", 0)
 	r.Add("mediation slowdown", float64(mediated)/float64(base), "x", 10)
 
-	// --- 2: single-page transfer restriction ----------------------------
-	// The restriction shows up as one command per page on the data path;
-	// report the measured per-command share of a 4 KiB read.
-	one := measureRPCWithCosts(20, nil)
 	r.Add("per-command overhead at 80MHz", sim.MHz(80).Cycles(520).Micros(), "us", 0)
 	_ = one
 	r.Note("paper §3.5: mediation cost is why activities use the vDTU directly")

@@ -257,13 +257,26 @@ func linuxCloud(mix ycsb.Mix) cloudTimes {
 }
 
 // Fig10 reproduces Figure 10: the cloud service under YCSB workloads, M³v
-// isolated/shared vs Linux, runtime split into user and system time.
+// isolated/shared vs Linux, runtime split into user and system time. Each
+// (mix, system) configuration is an independent simulation; the sweep fans
+// out across the worker pool.
 func Fig10() *Result {
 	r := &Result{ID: "fig10", Title: "Cloud service (YCSB on LSM store), runtime per run"}
-	for _, mx := range ycsb.Mixes {
-		iso := m3vCloud(mx.Mix, false)
-		sh := m3vCloud(mx.Mix, true)
-		lx := linuxCloud(mx.Mix)
+	// Three configurations per mix: M3v isolated, M3v shared, Linux.
+	const perMix = 3
+	times := runPoints(len(ycsb.Mixes)*perMix, func(i int) cloudTimes {
+		mx := ycsb.Mixes[i/perMix]
+		switch i % perMix {
+		case 0:
+			return m3vCloud(mx.Mix, false)
+		case 1:
+			return m3vCloud(mx.Mix, true)
+		default:
+			return linuxCloud(mx.Mix)
+		}
+	})
+	for mi, mx := range ycsb.Mixes {
+		iso, sh, lx := times[mi*perMix], times[mi*perMix+1], times[mi*perMix+2]
 		r.Add(fmt.Sprintf("%s M3v isolated total", mx.Name), iso.total.Millis(), "ms", 0)
 		r.Add(fmt.Sprintf("%s M3v shared total", mx.Name), sh.total.Millis(), "ms", 0)
 		r.Add(fmt.Sprintf("%s Linux total", mx.Name), lx.total.Millis(), "ms", 0)

@@ -149,10 +149,19 @@ func Fig6() *Result {
 	const rounds = 100
 	r := &Result{ID: "fig6", Title: "Local/remote no-op RPC vs Linux primitives"}
 	clk := sim.MHz(80)
-	remote := measureM3vRPC(false, rounds)
-	local := measureM3vRPC(true, rounds)
-	syscall := measureLinuxSyscall(rounds)
-	yield2 := measureLinuxYield2(rounds)
+	pts := runPoints(4, func(i int) sim.Time {
+		switch i {
+		case 0:
+			return measureM3vRPC(false, rounds)
+		case 1:
+			return measureM3vRPC(true, rounds)
+		case 2:
+			return measureLinuxSyscall(rounds)
+		default:
+			return measureLinuxYield2(rounds)
+		}
+	})
+	remote, local, syscall, yield2 := pts[0], pts[1], pts[2], pts[3]
 	r.Add("Linux yield (2x)", yield2.Micros(), "us", 55)
 	r.Add("Linux syscall", syscall.Micros(), "us", 25)
 	r.Add("M3v local", local.Micros(), "us", 62)

@@ -142,9 +142,19 @@ var fig9Paper = map[string]float64{
 }
 
 // Fig9 reproduces Figure 9: scalability of context-switch-heavy workloads
-// under tile multiplexing, M³x vs M³v, 1-12 tiles.
+// under tile multiplexing, M³x vs M³v, 1-12 tiles. The (system, trace,
+// tile-count) points are independent simulations and fan out across the
+// sweep worker pool; rows keep the figure's order regardless of worker
+// count.
 func Fig9() *Result {
 	r := &Result{ID: "fig9", Title: "Scalability of tile multiplexing (runs/s)"}
+	type point struct {
+		label string
+		mk    func() *traces.Trace
+		m3x   bool
+		n     int
+	}
+	var pts []point
 	for _, tr := range []struct {
 		name string
 		mk   func() *traces.Trace
@@ -153,17 +163,19 @@ func Fig9() *Result {
 		{"SQLite", traces.SQLite},
 	} {
 		for _, n := range Fig9Tiles {
-			v := fig9Throughput(false, n, tr.mk)
-			r.Add(fmt.Sprintf("M3v %s %d", tr.name, n), v, "runs/s",
-				fig9Paper[fmt.Sprintf("M3v %s %d", tr.name, n)])
+			pts = append(pts, point{fmt.Sprintf("M3v %s %d", tr.name, n), tr.mk, false, n})
 		}
 		for _, n := range Fig9Tiles {
 			// The paper could not run M³x reliably at high tile counts; we
 			// can, and the line stays flat either way.
-			v := fig9Throughput(true, n, tr.mk)
-			r.Add(fmt.Sprintf("M3x %s %d", tr.name, n), v, "runs/s",
-				fig9Paper[fmt.Sprintf("M3x %s %d", tr.name, n)])
+			pts = append(pts, point{fmt.Sprintf("M3x %s %d", tr.name, n), tr.mk, true, n})
 		}
+	}
+	vals := runPoints(len(pts), func(i int) float64 {
+		return fig9Throughput(pts[i].m3x, pts[i].n, pts[i].mk)
+	})
+	for i, p := range pts {
+		r.Add(p.label, vals[i], "runs/s", fig9Paper[p.label])
 	}
 	r.Note("shape: M3v scales almost linearly with tiles; M3x is capped by the single-threaded controller")
 	r.Note("shape: at one tile, M3v achieves about 2x the throughput of M3x")

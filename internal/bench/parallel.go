@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment drivers are sweeps over independent simulation runs: each
+// (system, tile-count, trace) or (system, YCSB-mix) point builds its own
+// sim.Engine and core.System and shares no mutable state with any other
+// point. That makes the sweep embarrassingly parallel: points fan out across
+// a worker pool while each simulation stays single-threaded and bit-identical
+// to a serial run. Rows are reassembled by point index, so tables come out
+// byte-identical at any worker count.
+
+// parallelism is the worker count used by runPoints. It defaults to the
+// machine's CPU count; m3vbench's -parallel flag overrides it.
+var parallelism int32 = int32(runtime.NumCPU())
+
+// SetParallelism sets the worker count for experiment sweeps. Values < 1 are
+// clamped to 1 (strictly serial execution on the calling goroutine).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt32(&parallelism, int32(n))
+}
+
+// Parallelism reports the current sweep worker count.
+func Parallelism() int { return int(atomic.LoadInt32(&parallelism)) }
+
+// forEachPoint runs fn(i) for every i in [0, n), fanned across up to
+// Parallelism() workers. It returns when all points are done. A panic in any
+// point is captured and re-raised on the caller's goroutine, so driver
+// failure behaviour matches serial execution.
+func forEachPoint(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked interface{}
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = fmt.Sprintf("bench: point %d panicked: %v", i, r)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// runPoints evaluates fn for every point index and returns the results in
+// point order, regardless of completion order.
+func runPoints[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	forEachPoint(n, func(i int) { out[i] = fn(i) })
+	return out
+}

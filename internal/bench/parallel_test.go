@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"m3v/internal/trace"
+	"m3v/internal/traces"
+)
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(4)
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", got)
+	}
+	SetParallelism(0) // clamps to 1
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() after 0 = %d, want 1", got)
+	}
+}
+
+// orig returns the entry parallelism so tests can restore it.
+func orig(t *testing.T) int {
+	t.Helper()
+	return Parallelism()
+}
+
+func TestRunPointsOrderAndCoverage(t *testing.T) {
+	defer SetParallelism(orig(t))
+	for _, par := range []int{1, 8} {
+		SetParallelism(par)
+		var calls int32
+		out := runPoints(100, func(i int) int {
+			atomic.AddInt32(&calls, 1)
+			return i * i
+		})
+		if calls != 100 {
+			t.Fatalf("par=%d: %d calls, want 100", par, calls)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachPointPanicPropagates(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	forEachPoint(8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+// TestFig9ParallelSerialEquivalence is the acceptance check of the sweep
+// runner: the fully rendered Fig9 table must be byte-identical whether the
+// points run serially or fanned across 8 workers. A reduced tile series
+// keeps it affordable; it still covers both systems and both traces.
+func TestFig9ParallelSerialEquivalence(t *testing.T) {
+	defer SetParallelism(orig(t))
+	savedTiles := Fig9Tiles
+	Fig9Tiles = []int{1, 2}
+	defer func() { Fig9Tiles = savedTiles }()
+
+	SetParallelism(1)
+	serial := Fig9().String()
+	SetParallelism(8)
+	parallel := Fig9().String()
+	if serial != parallel {
+		t.Fatalf("fig9 tables differ between -parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestFig10ParallelSerialEquivalence covers the other sweep shape (three
+// systems per YCSB mix, rows assembled per mix after the sweep).
+func TestFig10ParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	defer SetParallelism(orig(t))
+	SetParallelism(1)
+	serial := Fig10().String()
+	SetParallelism(8)
+	parallel := Fig10().String()
+	if serial != parallel {
+		t.Fatalf("fig10 tables differ between -parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestParallelTraceHashDeterminism runs a sweep twice with trace collection
+// on and compares the per-run event-stream hashes as multisets: under
+// -parallel the registration order may differ, but the set of simulated
+// runs — each hashed over its full event stream — must not.
+func TestParallelTraceHashDeterminism(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(8)
+	sweep := func() []uint64 {
+		trace.ClearRegistered()
+		trace.SetAutoRegister(true, true)
+		defer trace.SetAutoRegister(false, false)
+		runPoints(4, func(i int) float64 {
+			return fig9Throughput(i >= 2, 1+i%2, traces.Find)
+		})
+		var hashes []uint64
+		for _, r := range trace.Registered() {
+			hashes = append(hashes, r.Hash())
+		}
+		sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+		return hashes
+	}
+	first := sweep()
+	second := sweep()
+	if len(first) == 0 {
+		t.Fatal("no recorders registered during the sweep")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("run counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("trace hash multisets differ at %d: %#x vs %#x", i, first[i], second[i])
+		}
+	}
+}

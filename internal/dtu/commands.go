@@ -145,7 +145,7 @@ func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) 
 		p.Wake()
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: dst, Size: headerBytes + payload, Payload: pkt})
+		d.net.Send(d.net.NewPacket(d.tile, dst, headerBytes+payload, pkt))
 	})
 	for !done {
 		p.Park()
@@ -218,10 +218,8 @@ func (d *DTU) ack(p *sim.Proc, ep EpID, slot int) error {
 	d.m.acks.Inc()
 	if msg.CrdEp >= 0 {
 		d.eng.After(d.costs.Proc, func() {
-			d.net.Send(&noc.Packet{
-				Src: d.tile, Dst: msg.SndTile, Size: headerBytes,
-				Payload: creditPacket{DstEp: msg.CrdEp},
-			})
+			d.net.Send(d.net.NewPacket(d.tile, msg.SndTile, headerBytes,
+				creditPacket{DstEp: msg.CrdEp}))
 		})
 	}
 	return nil
@@ -267,7 +265,7 @@ func (d *DTU) read(p *sim.Proc, ep EpID, off uint64, n int, vaddr uint64) ([]byt
 		},
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: e.MemTile, Size: headerBytes, Payload: req})
+		d.net.Send(d.net.NewPacket(d.tile, e.MemTile, headerBytes, req))
 	})
 	for !done {
 		p.Park()
@@ -314,9 +312,7 @@ func (d *DTU) write(p *sim.Proc, ep EpID, off uint64, data []byte, vaddr uint64)
 		},
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{
-			Src: d.tile, Dst: e.MemTile, Size: headerBytes + len(data), Payload: req,
-		})
+		d.net.Send(d.net.NewPacket(d.tile, e.MemTile, headerBytes+len(data), req))
 	})
 	for !done {
 		p.Park()

@@ -233,12 +233,14 @@ type respPacket struct {
 
 // respond sends a response packet of the given size back to dst.
 func (d *DTU) respond(dst noc.TileID, size int, fn func()) {
-	d.net.Send(&noc.Packet{Src: d.tile, Dst: dst, Size: size, Payload: respPacket{fn: fn}})
+	d.net.Send(d.net.NewPacket(d.tile, dst, size, respPacket{fn: fn}))
 }
 
 // deliverMsg handles an incoming message packet. The return value feeds the
-// NoC's flow control: false means "retry later".
+// NoC's flow control: false means "retry later". pkt is recycled by the NoC
+// after this returns, so anything needed later is copied to locals first.
 func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
+	src := pkt.Src
 	e := &d.eps[pl.DstEp]
 	notPresent := e.Kind != EpReceive
 	if !notPresent && !d.virt && e.Act != d.curAct && e.Act != ActInvalid && e.Act != ActTileMux {
@@ -250,7 +252,7 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 	if notPresent {
 		ack := pl.Ack
 		d.eng.After(d.costs.Proc, func() {
-			d.respond(pkt.Src, headerBytes, func() { ack(ErrNoRecipient) })
+			d.respond(src, headerBytes, func() { ack(ErrNoRecipient) })
 		})
 		return true // consumed; the error travels back explicitly
 	}
@@ -285,7 +287,7 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 	if pl.Ack != nil {
 		ack := pl.Ack
 		d.eng.After(d.costs.Proc, func() {
-			d.respond(pkt.Src, headerBytes, func() { ack(nil) })
+			d.respond(src, headerBytes, func() { ack(nil) })
 		})
 	}
 	return true
@@ -333,7 +335,7 @@ func (d *DTU) serveMemRead(pkt *noc.Packet, pl memReadReq) {
 		panic(fmt.Sprintf("dtu: tile %d got memory read but has no DRAM", d.tile))
 	}
 	delay := d.mem.AccessDelay(pl.N)
-	src := pkt.Src
+	src := pkt.Src // pkt is recycled once Deliver returns
 	d.eng.After(delay, func() {
 		data := d.mem.ReadAt(pl.Off, pl.N)
 		d.respond(src, headerBytes+len(data), func() { pl.Reply(data) })

@@ -55,7 +55,7 @@ func (d *DTU) ConfigureRemote(p *sim.Proc, tile noc.TileID, ep EpID, conf Endpoi
 		},
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+		d.net.Send(d.net.NewPacket(d.tile, tile, extReqBytes, req))
 	})
 	for !done {
 		p.Park()
@@ -76,7 +76,7 @@ func (d *DTU) InvalidateRemote(p *sim.Proc, tile noc.TileID, ep EpID) error {
 		},
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+		d.net.Send(d.net.NewPacket(d.tile, tile, extReqBytes, req))
 	})
 	for !done {
 		p.Park()
@@ -100,7 +100,7 @@ func (d *DTU) ReadEpsRemote(p *sim.Proc, tile noc.TileID, first, count int) []En
 		},
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: extReqBytes, Payload: req})
+		d.net.Send(d.net.NewPacket(d.tile, tile, extReqBytes, req))
 	})
 	for !done {
 		p.Park()
@@ -130,7 +130,7 @@ func (d *DTU) WriteEpsRemote(p *sim.Proc, tile noc.TileID, eps []EpConf) {
 		}
 	}
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(&noc.Packet{Src: d.tile, Dst: tile, Size: size, Payload: req})
+		d.net.Send(d.net.NewPacket(d.tile, tile, size, req))
 	})
 	for !done {
 		p.Park()
@@ -144,24 +144,27 @@ func (d *DTU) serveExtWriteEps(pkt *noc.Packet, pl extWriteEpsReq) {
 		}
 	}
 	ack := pl.Ack
+	src := pkt.Src // pkt is recycled once Deliver returns
 	d.eng.After(d.costs.Proc, func() {
-		d.respond(pkt.Src, headerBytes, ack)
+		d.respond(src, headerBytes, ack)
 	})
 }
 
 func (d *DTU) serveExtConfig(pkt *noc.Packet, pl extConfigReq) {
 	err := d.ConfigureLocal(pl.Ep, pl.Conf)
 	ack := pl.Ack
+	src := pkt.Src
 	d.eng.After(d.costs.Proc, func() {
-		d.respond(pkt.Src, headerBytes, func() { ack(err) })
+		d.respond(src, headerBytes, func() { ack(err) })
 	})
 }
 
 func (d *DTU) serveExtInvalidate(pkt *noc.Packet, pl extInvalidateReq) {
 	err := d.InvalidateLocal(pl.Ep)
 	ack := pl.Ack
+	src := pkt.Src
 	d.eng.After(d.costs.Proc, func() {
-		d.respond(pkt.Src, headerBytes, func() { ack(err) })
+		d.respond(src, headerBytes, func() { ack(err) })
 	})
 }
 
@@ -176,8 +179,9 @@ func (d *DTU) serveExtReadEps(pkt *noc.Packet, pl extReadEpsReq) {
 	out := make([]Endpoint, count)
 	copy(out, d.eps[first:first+count])
 	reply := pl.Reply
+	src := pkt.Src
 	d.eng.After(d.costs.Proc, func() {
-		d.respond(pkt.Src, extReqBytes*count, func() { reply(out) })
+		d.respond(src, extReqBytes*count, func() { reply(out) })
 	})
 }
 

@@ -45,8 +45,11 @@ type Driver struct {
 	// after the caller got its reply.
 	pending []pendingSwitch
 
-	// started lists all started activities per tile for time-slice rotation.
-	started map[noc.TileID][]uint32
+	// started lists all started activities per tile for time-slice rotation;
+	// tileOrder keeps the tiles in first-start order so rotation ticks visit
+	// them deterministically (map iteration order would vary run to run).
+	started   map[noc.TileID][]uint32
+	tileOrder []noc.TileID
 	// Quantum is the controller's time slice; the controller rotates each
 	// multiplexed tile among its activities at this period (M³x: "the
 	// controller is responsible for scheduling decisions").
@@ -103,7 +106,8 @@ func (d *Driver) onIdle(p *sim.Proc) {
 		return
 	}
 	d.tickDue = false
-	for tile, acts := range d.started {
+	for _, tile := range d.tileOrder {
+		acts := d.started[tile]
 		live := acts[:0]
 		for _, id := range acts {
 			if a := d.k.Act(id); a != nil && !a.Exited {
@@ -159,6 +163,9 @@ func (d *Driver) replyFallback(msg *dtu.Message, resp []byte) bool {
 // activity of a tile as its current one, and pushes its saved endpoint state
 // (configured while it was not running) onto the tile.
 func (d *Driver) onActStarting(p *sim.Proc, act *kernel.ActEntry) {
+	if _, seen := d.started[act.Tile]; !seen {
+		d.tileOrder = append(d.tileOrder, act.Tile)
+	}
 	d.started[act.Tile] = append(d.started[act.Tile], act.ID)
 	if d.current[act.Tile] != 0 {
 		return

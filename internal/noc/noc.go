@@ -25,6 +25,11 @@ type Packet struct {
 
 // Handler receives packets delivered to a tile. Deliver reports whether the
 // tile accepted the packet; false triggers the NoC's retry backpressure.
+//
+// Deliver must not retain pkt (or schedule closures that read it later): the
+// network recycles packets through a free list as soon as delivery completes.
+// Payload values are copied out by the type switch in the handler; scalar
+// fields like Src must be copied to locals before any deferred use.
 type Handler interface {
 	Deliver(pkt *Packet) bool
 }
@@ -64,6 +69,11 @@ type Network struct {
 	// routerFree[r] is the earliest time router r can accept the next
 	// packet; it models serialization contention at the router.
 	routerFree []sim.Time
+
+	// freePkts and freeFlights recycle packets and in-flight transfer state;
+	// in steady state a send costs no allocation beyond the payload boxing.
+	freePkts    []*Packet
+	freeFlights []*inflight
 
 	// rec is the engine's structured event recorder; the named counters
 	// below live in its always-on metrics registry.
@@ -122,22 +132,71 @@ func (n *Network) Latency(src, dst TileID, size int) sim.Time {
 	return sim.Time(hops)*n.cfg.HopLatency + n.serialization(size)
 }
 
-// Send injects a packet. Delivery is scheduled after the path latency plus
-// any router contention; if the destination rejects it, the packet is
-// retransmitted after RetryDelay, up to MaxRetries times.
+// NewPacket returns a packet from the network's free list (or a fresh one),
+// initialized with the given fields. Packets obtained here and handed to
+// Send are recycled automatically when delivery completes.
+func (n *Network) NewPacket(src, dst TileID, size int, payload interface{}) *Packet {
+	if len(n.freePkts) > 0 {
+		pkt := n.freePkts[len(n.freePkts)-1]
+		n.freePkts = n.freePkts[:len(n.freePkts)-1]
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = src, dst, size, payload
+		return pkt
+	}
+	return &Packet{Src: src, Dst: dst, Size: size, Payload: payload}
+}
+
+func (n *Network) releasePkt(pkt *Packet) {
+	pkt.Payload = nil // drop the payload reference for GC
+	n.freePkts = append(n.freePkts, pkt)
+}
+
+// inflight is the transfer state of one packet on the wire. It carries the
+// retry count and two closures created once per pooled object, so steady-
+// state sends schedule without allocating.
+type inflight struct {
+	n       *Network
+	pkt     *Packet
+	attempt int
+	fire    func() // cached: fl.deliver
+	retry   func() // cached: fl.transmit
+}
+
+func (n *Network) newInflight(pkt *Packet) *inflight {
+	if len(n.freeFlights) > 0 {
+		fl := n.freeFlights[len(n.freeFlights)-1]
+		n.freeFlights = n.freeFlights[:len(n.freeFlights)-1]
+		fl.pkt, fl.attempt = pkt, 0
+		return fl
+	}
+	fl := &inflight{n: n, pkt: pkt}
+	fl.fire = fl.deliver
+	fl.retry = fl.transmit
+	return fl
+}
+
+func (n *Network) releaseInflight(fl *inflight) {
+	fl.pkt = nil
+	n.freeFlights = append(n.freeFlights, fl)
+}
+
+// Send injects a packet and takes ownership of it. Delivery is scheduled
+// after the path latency plus any router contention; if the destination
+// rejects it, the packet is retransmitted after RetryDelay, up to MaxRetries
+// times. The packet is recycled once delivery completes; callers must not
+// touch it after Send.
 func (n *Network) Send(pkt *Packet) {
+	fl := n.newInflight(pkt)
 	if pkt.Src == pkt.Dst {
 		// Tile-local loopback through the DTU: one hop worth of latency,
 		// no router involvement.
-		n.eng.After(n.cfg.HopLatency+n.serialization(pkt.Size), func() {
-			n.deliver(pkt, 0)
-		})
+		n.eng.After(n.cfg.HopLatency+n.serialization(pkt.Size), fl.fire)
 		return
 	}
-	n.transmit(pkt, 0)
+	fl.transmit()
 }
 
-func (n *Network) transmit(pkt *Packet, attempt int) {
+func (fl *inflight) transmit() {
+	n, pkt := fl.n, fl.pkt
 	ser := n.serialization(pkt.Size)
 	delay := n.Latency(pkt.Src, pkt.Dst, pkt.Size)
 	// Router contention: the packet occupies each router on its path for its
@@ -150,10 +209,11 @@ func (n *Network) transmit(pkt *Packet, attempt int) {
 	}
 	n.routerFree[r] = start + ser
 	queueing := start - now
-	n.eng.After(queueing+delay, func() { n.deliver(pkt, attempt) })
+	n.eng.After(queueing+delay, fl.fire)
 }
 
-func (n *Network) deliver(pkt *Packet, attempt int) {
+func (fl *inflight) deliver() {
+	n, pkt := fl.n, fl.pkt
 	h := n.handlers[pkt.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler attached to tile %d", pkt.Dst))
@@ -162,15 +222,20 @@ func (n *Network) deliver(pkt *Packet, attempt int) {
 		n.cDelivered.Inc()
 		n.cBytes.Add(int64(pkt.Size))
 		n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), true)
+		n.releasePkt(pkt)
+		n.releaseInflight(fl)
 		return
 	}
 	n.cNacked.Inc()
 	n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), false)
-	if n.cfg.MaxRetries > 0 && attempt+1 >= n.cfg.MaxRetries {
+	if n.cfg.MaxRetries > 0 && fl.attempt+1 >= n.cfg.MaxRetries {
 		n.cDropped.Inc()
+		n.releasePkt(pkt)
+		n.releaseInflight(fl)
 		return
 	}
-	n.eng.After(n.cfg.RetryDelay, func() { n.transmit(pkt, attempt+1) })
+	fl.attempt++
+	n.eng.After(n.cfg.RetryDelay, fl.retry)
 }
 
 // Topology computes routes between tiles.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"m3v/internal/trace"
@@ -9,30 +8,156 @@ import (
 
 // event is a scheduled callback. Events with equal timestamps execute in
 // insertion order (seq), which makes the simulation fully deterministic.
+//
+// Events are stored by value: the queue never allocates per event, only when
+// its backing arrays grow. This is the engine's hottest path — every DTU
+// command, NoC packet, and context switch schedules at least one event.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue orders events by (at, seq) without per-event allocation. It has
+// two parts:
+//
+//   - heap: a 4-ary min-heap of value events. 4-ary beats binary here because
+//     sift-down does 3/4 fewer levels at slightly more comparisons per level,
+//     and the four children share a cache line (an event is 24 bytes).
+//   - ring: a circular FIFO for events scheduled at exactly the current time
+//     (After(0): process resumes, wakes, IRQ injection). These need no heap
+//     ordering at all — they run after every already-queued event with the
+//     same timestamp (which must have a smaller seq) and among themselves in
+//     insertion order, which the FIFO provides for free.
+//
+// The invariant making the ring sound: an event enters the ring only with
+// at == now, and the clock only advances when both structures have nothing
+// left at now, so every heap event with at == now was pushed before any
+// current ring event and therefore has a smaller seq.
+type eventQueue struct {
+	heap []event
+	ring []event // circular buffer, len is a power of two
+	head int     // ring read position
+	n    int     // ring occupancy
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.heap) + q.n }
+
+// pushHeap inserts an event with at > the ring's timestamp domain.
+func (q *eventQueue) pushHeap(ev event) {
+	h := append(q.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !evLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.heap = h
+}
+
+// popHeap removes and returns the minimum heap event.
+func (q *eventQueue) popHeap() event {
+	h := q.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release the closure for GC
+	h = h[:last]
+	q.heap = h
+	// Sift down in the 4-ary heap.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if evLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !evLess(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// pushRing appends an event scheduled at the current time.
+func (q *eventQueue) pushRing(ev event) {
+	if q.n == len(q.ring) {
+		q.growRing()
+	}
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = ev
+	q.n++
+}
+
+func (q *eventQueue) growRing() {
+	size := len(q.ring) * 2
+	if size == 0 {
+		size = 16
+	}
+	grown := make([]event, size)
+	for i := 0; i < q.n; i++ {
+		grown[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = grown
+	q.head = 0
+}
+
+func (q *eventQueue) popRing() event {
+	ev := q.ring[q.head]
+	q.ring[q.head] = event{} // release the closure for GC
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
+	return ev
+}
+
+// peekAt reports the timestamp of the next event. The queue must be
+// non-empty.
+func (q *eventQueue) peekAt() Time {
+	if q.n > 0 {
+		at := q.ring[q.head].at
+		if len(q.heap) > 0 && q.heap[0].at < at {
+			return q.heap[0].at
+		}
+		return at
+	}
+	return q.heap[0].at
+}
+
+// pop removes and returns the event with the smallest (at, seq). The queue
+// must be non-empty.
+func (q *eventQueue) pop() event {
+	if q.n == 0 {
+		return q.popHeap()
+	}
+	if len(q.heap) == 0 {
+		return q.popRing()
+	}
+	// Both non-empty: full (at, seq) comparison. By the ring invariant the
+	// heap wins ties on at, but comparing seq keeps this robust.
+	if evLess(&q.heap[0], &q.ring[q.head]) {
+		return q.popHeap()
+	}
+	return q.popRing()
 }
 
 // Engine is a discrete-event simulation kernel. The zero value is not usable;
@@ -48,7 +173,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
 	parked  chan struct{} // a process hands control back to the engine
 	dead    chan struct{} // closed by Shutdown to unwind parked processes
 	stopped bool
@@ -90,13 +215,18 @@ func (e *Engine) trace(format string, args ...interface{}) {
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would violate causality.
+// it would violate causality. Steady-state scheduling is allocation-free:
+// events are stored by value and the queue's arrays are reused across pops.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if t == e.now {
+		e.queue.pushRing(event{at: t, seq: e.seq, fn: fn})
+		return
+	}
+	e.queue.pushHeap(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -112,7 +242,9 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
 // RunUntil executes events with timestamps <= limit, then returns. The
 // engine's clock advances to the timestamp of the last executed event (or to
-// limit if at least one event beyond it remains queued).
+// limit if at least one event beyond it remains queued). The clock never
+// moves backwards: a limit below the current time (for example after a Stop
+// mid-run) leaves it where the last executed event put it.
 func (e *Engine) RunUntil(limit Time) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly")
@@ -120,12 +252,14 @@ func (e *Engine) RunUntil(limit Time) Time {
 	e.running = true
 	e.stopped = false
 	defer func() { e.running = false }()
-	for !e.stopped && len(e.queue) > 0 {
-		if e.queue[0].at > limit {
-			e.now = limit
+	for !e.stopped && e.queue.len() > 0 {
+		if e.queue.peekAt() > limit {
+			if limit > e.now {
+				e.now = limit
+			}
 			return e.now
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.evExec.Inc()
 		ev.fn()
@@ -134,7 +268,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return e.live }

@@ -109,6 +109,58 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopThenRunUntilEarlierLimit(t *testing.T) {
+	// Regression: Stop() from a handler leaves the clock at the handler's
+	// timestamp. A later RunUntil with a limit before that timestamp must
+	// not drag the clock backwards behind the already-executed event.
+	e := NewEngine()
+	fired := 0
+	e.At(100*Nanosecond, func() { fired++; e.Stop() })
+	e.At(200*Nanosecond, func() { fired++ })
+	if end := e.Run(); end != 100*Nanosecond {
+		t.Fatalf("Run stopped at %v, want 100ns", end)
+	}
+	if end := e.RunUntil(50 * Nanosecond); end != 100*Nanosecond {
+		t.Errorf("RunUntil(50ns) = %v, want clock held at 100ns", end)
+	}
+	if e.Now() != 100*Nanosecond {
+		t.Errorf("Now = %v, want 100ns (never backwards)", e.Now())
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	// The remaining event is still intact and runs on the next full Run.
+	if end := e.Run(); end != 200*Nanosecond || fired != 2 {
+		t.Errorf("final Run = %v fired=%d, want 200ns fired=2", end, fired)
+	}
+}
+
+func TestStopWithSameTimeEventsPending(t *testing.T) {
+	// Stop() with same-timestamp events still queued (in the ring): a later
+	// Run must execute them at the same instant, in insertion order.
+	e := NewEngine()
+	var order []int
+	e.At(10*Nanosecond, func() {
+		order = append(order, 1)
+		e.After(0, func() { order = append(order, 2) })
+		e.After(0, func() { order = append(order, 3) })
+		e.Stop()
+	})
+	e.Run()
+	if len(order) != 1 {
+		t.Fatalf("order after Stop = %v, want [1]", order)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	if end := e.Run(); end != 10*Nanosecond {
+		t.Errorf("resumed Run = %v, want 10ns", end)
+	}
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
 func TestProcSleep(t *testing.T) {
 	e := NewEngine()
 	var marks []Time

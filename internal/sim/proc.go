@@ -17,12 +17,20 @@ type Proc struct {
 	wakePending bool // a wake event is already queued
 	done        bool
 	interrupted bool // Wake arrived while the process was not parked
+
+	// resumeFn and wakeFn are the closures Sleep and Wake schedule. They are
+	// built once at Spawn so the blocking hot paths (every Sleep, every
+	// Park/Wake hand-off) schedule without allocating.
+	resumeFn func()
+	wakeFn   func()
 }
 
 // Spawn creates a process executing fn and schedules its start at the current
 // time. fn runs in process context.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, wake: make(chan struct{})}
+	p.resumeFn = func() { e.resume(p) }
+	p.wakeFn = p.completeWake
 	e.live++
 	go func() {
 		defer func() {
@@ -43,7 +51,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.waitWake() // wait for the start event
 		fn(p)
 	}()
-	e.After(0, func() { e.resume(p) })
+	e.After(0, p.resumeFn)
 	return p
 }
 
@@ -84,7 +92,7 @@ func (p *Proc) Now() Time { return p.e.now }
 // it but is remembered and reported by the next Park (see Wake).
 func (p *Proc) Sleep(d Time) {
 	e := p.e
-	e.At(e.now+d, func() { e.resume(p) })
+	e.At(e.now+d, p.resumeFn)
 	p.yield()
 }
 
@@ -116,18 +124,20 @@ func (p *Proc) Wake() {
 		return
 	}
 	p.wakePending = true
-	e := p.e
-	e.After(0, func() {
-		p.wakePending = false
-		if !p.parked {
-			// The process was already woken by someone else in the
-			// meantime; remember the extra wake as an interrupt.
-			p.interrupted = true
-			return
-		}
-		p.parked = false
-		e.resume(p)
-	})
+	p.e.After(0, p.wakeFn)
+}
+
+// completeWake is the queued half of Wake, cached in wakeFn.
+func (p *Proc) completeWake() {
+	p.wakePending = false
+	if !p.parked {
+		// The process was already woken by someone else in the
+		// meantime; remember the extra wake as an interrupt.
+		p.interrupted = true
+		return
+	}
+	p.parked = false
+	p.e.resume(p)
 }
 
 // ClearInterrupt discards a pending interrupt flag, if any, and reports

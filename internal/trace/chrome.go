@@ -41,6 +41,13 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 // WriteChromeMerged writes several recorders (e.g. one per benchmarked
 // System) into a single trace; recorder i's tiles appear as processes
 // i*pidStride + tile. A pidStride of 0 uses 1000.
+//
+// Events are ordered by (run, timestamp): each recorder's stream is written
+// in full before the next one's, and is internally time-ordered because a
+// recorder appends in simulated-time order. The run index is the recorder's
+// position in recs — with auto-registered recorders from a parallel sweep
+// that is completion order, not sweep-point order, so two merged traces of
+// the same experiment may list the same runs under different pids.
 func WriteChromeMerged(w io.Writer, recs []*Recorder, pidStride int) error {
 	return writeChrome(w, recs, pidStride)
 }

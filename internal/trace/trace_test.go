@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -267,5 +268,53 @@ func TestAutoRegister(t *testing.T) {
 	}
 	if after := NewRecorder(); after.Enabled() {
 		t.Fatal("recorder created after SetAutoRegister(false) should be disabled")
+	}
+}
+
+// TestAutoRegisterConcurrent exercises the global registry from many
+// goroutines at once, the way a parallel experiment sweep creates recorders.
+// Run under -race this pins down that registration, emission into distinct
+// recorders, and hashing are data-race free.
+func TestAutoRegisterConcurrent(t *testing.T) {
+	ClearRegistered()
+	SetAutoRegister(true, true)
+	defer func() {
+		SetAutoRegister(false, false)
+		ClearRegistered()
+	}()
+	const workers = 8
+	hashes := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := NewRecorder()
+			for i := 0; i < 100; i++ {
+				r.CtxSwitch(int64(i)*1000, 500, w, int64(i), int64(i+1), SwitchBlock)
+				r.Metrics().Counter("tile00.mux.switches").Add(1)
+			}
+			hashes[w] = r.Hash()
+		}(w)
+	}
+	wg.Wait()
+	recs := Registered()
+	if len(recs) != workers {
+		t.Fatalf("registered %d recorders, want %d", len(recs), workers)
+	}
+	// Every worker emitted the same stream apart from the tile id; each
+	// recorder must have all 100 events and a self-consistent hash.
+	for i, r := range recs {
+		if n := r.CountKind(KindCtxSwitch); n != 100 {
+			t.Errorf("recorder %d: %d ctx switches, want 100", i, n)
+		}
+		if got, again := r.Hash(), r.Hash(); got != again {
+			t.Errorf("recorder %d: hash not stable: %#x vs %#x", i, got, again)
+		}
+	}
+	for w, h := range hashes {
+		if h == 0 {
+			t.Errorf("worker %d produced zero hash", w)
+		}
 	}
 }
