@@ -11,6 +11,12 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== m3vlint =="
+# Project-specific invariants: determinism (detmap, walltime), hot-path
+# allocation discipline (noalloc), and metric naming (metricname). Any
+# diagnostic fails the gate; suppressions need //m3vlint:ignore with a reason.
+go run ./cmd/m3vlint ./...
+
 echo "== go build =="
 go build ./...
 

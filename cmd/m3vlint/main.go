@@ -1,0 +1,64 @@
+// m3vlint is the project's static analyzer suite: it enforces the
+// simulator's determinism, no-alloc, and metric-naming invariants on every
+// CI run (see internal/analysis). Usage:
+//
+//	go run ./cmd/m3vlint ./...
+//
+// Exit status 0 means no findings, 1 means findings were printed, 2 means
+// the analysis itself failed (unparsable or untypecheckable code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m3v/internal/analysis"
+	"m3v/internal/analysis/load"
+	"m3v/internal/analysis/suite"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: m3vlint [-doc] [packages]\n\n"+
+			"Runs the m3v analyzer suite (")
+		for i, a := range suite.Analyzers {
+			if i > 0 {
+				fmt.Fprint(os.Stderr, ", ")
+			}
+			fmt.Fprint(os.Stderr, a.Name)
+		}
+		fmt.Fprintf(os.Stderr, ") over the given package patterns (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *doc {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%s:\n%s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m3vlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(units, suite.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m3vlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

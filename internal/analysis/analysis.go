@@ -1,0 +1,313 @@
+// Package analysis is the foundation of m3vlint, the project's static
+// analyzer suite. It mirrors the core API shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — on the
+// standard library alone, because this repository builds offline and
+// vendors no external modules. Migrating an analyzer to the upstream
+// framework is a mechanical import swap: the field and method names below
+// are deliberately identical to their x/tools counterparts.
+//
+// The analyzers enforce the simulator's three machine-checkable invariants
+// (see DESIGN.md §6):
+//
+//   - detmap: no order-sensitive iteration over maps in deterministic
+//     packages (bit-identical runs);
+//   - walltime: no wall-clock or global-rand reads inside simulation
+//     packages (the sim clock and seeded *rand.Rand are the only time and
+//     randomness sources);
+//   - noalloc: functions annotated //m3v:noalloc stay free of allocating
+//     constructs (static complement to the runtime AllocsPerRun guards);
+//   - metricname: registry metric names are literal, follow the
+//     component.noun convention, and are unique across the module.
+//
+// A finding is suppressed by a directive on the offending line or the line
+// directly above it:
+//
+//	//m3vlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static analysis and its Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by `m3vlint -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of a
+// single package and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Store is shared by all packages of one driver run (one map per
+	// analyzer), giving module-wide analyses such as metricname's
+	// uniqueness check a place to accumulate state. Packages are processed
+	// in sorted import-path order, so its contents are deterministic.
+	Store map[string]interface{}
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// --- deterministic-package policy -------------------------------------------
+
+// DeterministicPkgs lists the packages whose behaviour must be bit-identical
+// across runs: the discrete-event substrate, the hardware and OS model, the
+// M³x baseline, and the experiment drivers whose tables the serial/parallel
+// equivalence gate compares byte for byte.
+var DeterministicPkgs = []string{
+	"m3v/internal/sim",
+	"m3v/internal/tilemux",
+	"m3v/internal/kernel",
+	"m3v/internal/dtu",
+	"m3v/internal/noc",
+	"m3v/internal/m3x",
+	"m3v/internal/bench",
+}
+
+// IsDeterministic reports whether the import path names a package with the
+// bit-identical-runs obligation.
+func IsDeterministic(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCmd reports whether the import path lies under a cmd/ tree. Command
+// binaries run outside simulated time (bench timestamps, wall-clock
+// speedup measurement) and are exempt from walltime.
+func IsCmd(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// --- ignore directives ------------------------------------------------------
+
+const (
+	// IgnorePrefix introduces a suppression directive.
+	IgnorePrefix = "m3vlint:ignore"
+	// NoAllocMarker annotates a function whose body the noalloc analyzer
+	// checks.
+	NoAllocMarker = "m3v:noalloc"
+)
+
+// An ignoreDirective is one parsed //m3vlint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Pos
+	line   int
+	names  []string
+	reason string
+}
+
+// parseIgnores extracts every ignore directive of a file.
+func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, IgnorePrefix)
+			fields := strings.Fields(rest)
+			d := ignoreDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				d.names = strings.Split(fields[0], ",")
+				d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (d *ignoreDirective) covers(name string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, n := range d.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops diagnostics suppressed by a well-formed ignore directive for
+// the named analyzer. A directive suppresses findings on its own line and on
+// the line immediately below it. Directives without a reason suppress
+// nothing (CheckDirectives reports them).
+func Filter(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	var dirs []ignoreDirective
+	for _, f := range files {
+		for _, d := range parseIgnores(fset, f) {
+			if d.reason != "" {
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		line := fset.Position(dg.Pos).Line
+		suppressed := false
+		for i := range dirs {
+			if dirs[i].covers(name, line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// CheckDirectives validates the grammar of every ignore directive in the
+// files: `//m3vlint:ignore <analyzer>[,<analyzer>...] <reason>` with a
+// non-empty reason. Violations come back as diagnostics attributed to the
+// driver itself.
+func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range parseIgnores(fset, f) {
+			switch {
+			case len(d.names) == 0:
+				out = append(out, Diagnostic{Pos: d.pos,
+					Message: "malformed ignore directive: want //m3vlint:ignore <analyzer> <reason>"})
+			case d.reason == "":
+				out = append(out, Diagnostic{Pos: d.pos, Message: fmt.Sprintf(
+					"ignore directive for %s is missing its reason", strings.Join(d.names, ","))})
+			}
+		}
+	}
+	return out
+}
+
+// --- driver -----------------------------------------------------------------
+
+// A Finding is one post-suppression diagnostic with its provenance.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// A Unit is one loadable package as the driver consumes it (the load
+// package produces these; the indirection keeps analysis dependency-free).
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every unit, in sorted import-path order,
+// applies ignore directives, validates directive grammar, and returns the
+// surviving findings sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	sorted := append([]*Unit(nil), units...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	stores := make(map[*Analyzer]map[string]interface{}, len(analyzers))
+	for _, a := range analyzers {
+		stores[a] = map[string]interface{}{}
+	}
+	var findings []Finding
+	for _, u := range sorted {
+		for _, dg := range CheckDirectives(u.Fset, u.Files) {
+			findings = append(findings, Finding{
+				Analyzer: "m3vlint", Pos: u.Fset.Position(dg.Pos), Message: dg.Message,
+			})
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				Store:     stores[a],
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.Path, err)
+			}
+			for _, dg := range Filter(u.Fset, u.Files, a.Name, diags) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name, Pos: u.Fset.Position(dg.Pos), Message: dg.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// HasNoAllocMarker reports whether the function declaration carries the
+// //m3v:noalloc annotation in its doc comment group.
+func HasNoAllocMarker(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == NoAllocMarker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestFilterSuppressesSameAndNextLine(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	//m3vlint:ignore detmap fresh map keyed by range key
+	_ = 1 // line 5, covered by the directive above
+	_ = 2 // line 6, not covered
+}
+`)
+	mk := func(line int) Diagnostic {
+		var pos token.Pos
+		fset.Iterate(func(f *token.File) bool {
+			pos = f.LineStart(line)
+			return false
+		})
+		return Diagnostic{Pos: pos, Message: "x"}
+	}
+	kept := Filter(fset, files, "detmap", []Diagnostic{mk(4), mk(5), mk(6)})
+	if len(kept) != 1 || fset.Position(kept[0].Pos).Line != 6 {
+		t.Fatalf("want only the line-6 diagnostic kept, got %d diagnostics", len(kept))
+	}
+	// A different analyzer's findings pass through untouched.
+	if kept := Filter(fset, files, "walltime", []Diagnostic{mk(5)}); len(kept) != 1 {
+		t.Fatalf("directive for detmap must not suppress walltime findings")
+	}
+}
+
+func TestCheckDirectivesRequiresReason(t *testing.T) {
+	fset, files := parse(t, `package p
+
+//m3vlint:ignore detmap
+var a int
+
+//m3vlint:ignore
+var b int
+
+//m3vlint:ignore detmap,noalloc amortized growth of the reusable buffer
+var c int
+`)
+	diags := CheckDirectives(fset, files)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 malformed-directive diagnostics, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "missing its reason") {
+		t.Errorf("first diagnostic should name the missing reason: %s", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "malformed") {
+		t.Errorf("second diagnostic should report the malformed directive: %s", diags[1].Message)
+	}
+}
+
+func TestReasonlessDirectiveSuppressesNothing(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	//m3vlint:ignore detmap
+	_ = 1
+}
+`)
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(5)
+		return false
+	})
+	kept := Filter(fset, files, "detmap", []Diagnostic{{Pos: pos, Message: "x"}})
+	if len(kept) != 1 {
+		t.Fatalf("a directive without a reason must not suppress findings")
+	}
+}
+
+func TestPolicyHelpers(t *testing.T) {
+	for _, p := range DeterministicPkgs {
+		if !IsDeterministic(p) {
+			t.Errorf("IsDeterministic(%q) = false", p)
+		}
+	}
+	for _, p := range []string{"m3v/internal/trace", "m3v", "m3v/cmd/m3vbench"} {
+		if IsDeterministic(p) {
+			t.Errorf("IsDeterministic(%q) = true", p)
+		}
+	}
+	if !IsCmd("m3v/cmd/m3vbench") || IsCmd("m3v/internal/sim") || IsCmd("m3v") {
+		t.Error("IsCmd misclassifies")
+	}
+}

@@ -1,0 +1,16 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", detmap.Analyzer,
+		"m3v/internal/m3x", // PR 2 regression shape
+		"m3v/internal/sim", // heuristics + directive suppression
+		"otherpkg",         // outside the deterministic set
+	)
+}

@@ -1,0 +1,42 @@
+// Package m3x is the detmap regression fixture reproducing the PR 2
+// M3x-driver bug: the controller's time-slice rotation iterated the
+// started-activities map directly, so the visit order — and with it the
+// switch sequence and every downstream table — varied from run to run.
+package m3x
+
+type TileID uint32
+
+type Driver struct {
+	started   map[TileID][]uint32
+	current   map[TileID]uint32
+	tileOrder []TileID
+	Switches  int64
+}
+
+// onIdleBuggy is the pre-fix shape: rotation order follows map iteration
+// order.
+func (d *Driver) onIdleBuggy() {
+	for tile, acts := range d.started { // want `range over map in deterministic package`
+		if len(acts) < 2 {
+			continue
+		}
+		d.performSwitch(tile, acts[0])
+	}
+}
+
+// onIdleFixed is the PR 2 shape: tiles are visited in first-start order
+// via the insertion-ordered tileOrder slice.
+func (d *Driver) onIdleFixed() {
+	for _, tile := range d.tileOrder {
+		acts := d.started[tile]
+		if len(acts) < 2 {
+			continue
+		}
+		d.performSwitch(tile, acts[0])
+	}
+}
+
+func (d *Driver) performSwitch(tile TileID, to uint32) {
+	d.Switches++
+	d.current[tile] = to
+}

@@ -1,0 +1,11 @@
+// Package otherpkg is outside the deterministic set: detmap leaves its map
+// iteration alone.
+package otherpkg
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

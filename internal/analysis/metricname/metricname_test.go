@@ -1,0 +1,14 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	// Both fixture packages run in one pass and share the analyzer store,
+	// exercising cross-package uniqueness.
+	analysistest.Run(t, "testdata", metricname.Analyzer, "metricuse", "metricuse2")
+}

@@ -1,0 +1,20 @@
+// Package trace is a fixture stub of the real m3v/internal/trace registry
+// surface: metricname keys on the (*Metrics).Counter / Histogram methods
+// of this import path, so the stub lets fixtures register metrics without
+// pulling the whole module into the test.
+package trace
+
+type Metrics struct{}
+
+func NewMetrics() *Metrics { return &Metrics{} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v int64) {}
+
+func (m *Metrics) Counter(name string) *Counter     { return &Counter{} }
+func (m *Metrics) Histogram(name string) *Histogram { return &Histogram{} }

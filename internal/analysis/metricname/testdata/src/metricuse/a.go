@@ -1,0 +1,53 @@
+// Package metricuse exercises metricname's shape resolution, convention
+// checks, and module-wide uniqueness.
+package metricuse
+
+import (
+	"fmt"
+
+	"m3v/internal/trace"
+)
+
+const tileCount = 4
+
+func register(m *trace.Metrics, tile int, pfx string, dynamic func() string) {
+	m.Counter("dtu.sends")                               // first registration
+	m.Counter("dtu.sends")                               // want `duplicate metric name "dtu\.sends"`
+	m.Histogram("dtu.sends")                             // want `duplicate metric name "dtu\.sends"`
+	m.Counter("noc.delivered")                           // distinct name
+	m.Histogram("dtu.cmd_time")                          // histograms share the namespace
+	m.Counter("BadName.sends")                           // want `violates the component\.noun convention`
+	m.Counter("single")                                  // want `at least two segments`
+	m.Counter("tile..sends")                             // want `violates the component\.noun convention`
+	m.Counter(fmt.Sprintf("tile%02d.dtu.flushes", tile)) // template names are fine
+	m.Counter(fmt.Sprintf("tile%02d.dtu.flushes", tile)) // want `duplicate metric name template`
+	m.Counter(fmt.Sprintf("oops-%d", tile))              // want `violates the component\.noun convention`
+	m.Counter(pfx + "ctx_switches")                      // dynamic component + literal noun
+	m.Counter(pfx + "Bad-Suffix")                        // want `suffix "Bad-Suffix" violates`
+	m.Counter(dynamic())                                 // want `not statically derived`
+}
+
+// localVar mirrors tilemux's switchTarget idiom: the name is built in a
+// local whose every assignment is statically resolvable.
+func localVar(m *trace.Metrics, tile int, idle bool) {
+	name := fmt.Sprintf("tile%02d.mux.switch_to.act", tile)
+	if idle {
+		name = fmt.Sprintf("tile%02d.mux.switch_to.idle", tile)
+	}
+	m.Counter(name)
+}
+
+// suppressed shows the escape hatch for genuinely dynamic names.
+func suppressed(m *trace.Metrics, dynamic func() string) {
+	//m3vlint:ignore metricname replaying externally recorded metric streams keeps their original names
+	m.Counter(dynamic())
+}
+
+// notTheRegistry: same method names on an unrelated type are ignored.
+type fake struct{}
+
+func (fake) Counter(name string) int { return 0 }
+
+func unrelated(f fake, dynamic func() string) int {
+	return f.Counter(dynamic())
+}

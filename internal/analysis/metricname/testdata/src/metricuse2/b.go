@@ -1,0 +1,10 @@
+// Package metricuse2 registers a name metricuse already claimed:
+// uniqueness holds across the whole module, not per package.
+package metricuse2
+
+import "m3v/internal/trace"
+
+func register(m *trace.Metrics) {
+	m.Counter("noc.delivered") // want `duplicate metric name "noc\.delivered"`
+	m.Counter("kernel.syscalls")
+}

@@ -1,0 +1,312 @@
+// Package noalloc implements the m3vlint analyzer that checks functions
+// annotated //m3v:noalloc for allocating constructs. It is the static
+// complement to the runtime testing.AllocsPerRun guards on the engine hot
+// path: the runtime guards prove the steady state allocates nothing, this
+// analyzer points at the construct when a change reintroduces allocation.
+//
+// The check is intraprocedural and conservative in both directions: it
+// does not follow calls, and it flags constructs the compiler sometimes
+// optimizes away (append into a slice with spare capacity, boxing of
+// small integers). Such justified cases carry an
+// //m3vlint:ignore noalloc <reason> directive at the use site, which keeps
+// every exception visible and explained in the source.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"m3v/internal/analysis"
+)
+
+// Analyzer checks //m3v:noalloc functions for allocating constructs.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: `forbid allocating constructs in //m3v:noalloc functions
+
+Functions carrying the //m3v:noalloc doc annotation form the engine's
+allocation-free hot path (event scheduling and dispatch, the disabled-trace
+fast path). Inside them the analyzer flags:
+
+  - make and new,
+  - slice and map composite literals, and struct/array literals whose
+    address is taken,
+  - append (the backing array may grow),
+  - function literals that capture variables of the enclosing function,
+  - conversions of non-pointer-shaped values to interface types (boxing),
+    including implicit conversions at calls, assignments, and returns.
+
+Arguments of panic calls are exempt: a panicking simulator is already out
+of the measurement. Justified exceptions (amortized growth of a reusable
+buffer) take an //m3vlint:ignore noalloc <reason> directive.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasNoAllocMarker(fd) {
+				continue
+			}
+			c := &checker{pass: pass, decl: fd}
+			c.block(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checker walks one annotated function.
+type checker struct {
+	pass *analysis.Pass
+	decl *ast.FuncDecl
+}
+
+func (c *checker) block(body *ast.BlockStmt) {
+	// Composite literals whose address is taken escape to the heap even
+	// when their type is a plain struct or array.
+	addressed := map[*ast.CompositeLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if cl, ok := unparen(ue.X).(*ast.CompositeLit); ok {
+				addressed[cl] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.call(n)
+		case *ast.CompositeLit:
+			c.composite(n, addressed[n])
+			return true
+		case *ast.FuncLit:
+			if capt := c.captures(n); capt != "" {
+				c.pass.Reportf(n.Pos(),
+					"closure captures %s in //m3v:noalloc function %s: the closure allocates; "+
+						"hoist it to a cached field or method value", capt, c.decl.Name.Name)
+			}
+			return false // the literal's body runs outside this hot path
+		case *ast.AssignStmt:
+			c.assign(n)
+			return true
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				var lt types.Type
+				if n.Type != nil {
+					lt = typeOf(c.pass, n.Type)
+				} else if i < len(n.Names) {
+					if obj := c.pass.TypesInfo.ObjectOf(n.Names[i]); obj != nil {
+						lt = obj.Type()
+					}
+				}
+				c.box(v, lt)
+			}
+			return true
+		case *ast.ReturnStmt:
+			c.returns(n)
+			return true
+		}
+		return true
+	})
+}
+
+// call handles one call expression; returning false prunes the walk below
+// it (used for panic, whose arguments are exempt).
+func (c *checker) call(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch obj := c.pass.TypesInfo.ObjectOf(id).(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				c.pass.Reportf(call.Pos(),
+					"make allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+				return true
+			case "new":
+				c.pass.Reportf(call.Pos(),
+					"new allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+				return true
+			case "append":
+				c.pass.Reportf(call.Pos(),
+					"append may grow its backing array in //m3v:noalloc function %s; "+
+						"pre-size the slice or justify with an ignore directive", c.decl.Name.Name)
+				return true
+			case "panic":
+				return false // failure path: allocation is irrelevant
+			}
+		}
+	}
+	// A conversion to an interface type boxes its operand.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			c.box(call.Args[0], tv.Type)
+		}
+		return true
+	}
+	// Implicit boxing at the call boundary.
+	sig, ok := typeOf(c.pass, call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.box(arg, pt)
+		}
+	}
+	return true
+}
+
+func (c *checker) composite(cl *ast.CompositeLit, addressed bool) {
+	t := typeOf(c.pass, cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(cl.Pos(),
+			"slice literal allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+	case *types.Map:
+		c.pass.Reportf(cl.Pos(),
+			"map literal allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+	default:
+		if addressed {
+			c.pass.Reportf(cl.Pos(),
+				"composite literal escapes to the heap (address taken) in //m3v:noalloc function %s",
+				c.decl.Name.Name)
+		}
+	}
+}
+
+func (c *checker) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		lt := typeOf(c.pass, lhs)
+		if id, ok := lhs.(*ast.Ident); ok && s.Tok == token.DEFINE {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				lt = obj.Type()
+			}
+		}
+		if lt != nil {
+			c.box(s.Rhs[i], lt)
+		}
+	}
+}
+
+func (c *checker) returns(s *ast.ReturnStmt) {
+	sig := typeOf(c.pass, funcIdent(c.decl))
+	fsig, ok := sig.(*types.Signature)
+	if !ok {
+		return
+	}
+	res := fsig.Results()
+	if len(s.Results) != res.Len() {
+		return
+	}
+	for i, e := range s.Results {
+		c.box(e, res.At(i).Type())
+	}
+}
+
+// box reports e if assigning it to target boxes a non-pointer-shaped value
+// into an interface.
+func (c *checker) box(e ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	et := typeOf(c.pass, e)
+	if et == nil {
+		return
+	}
+	if b, ok := et.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, isIface := et.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface: no new allocation
+	}
+	if pointerShaped(et) {
+		return
+	}
+	c.pass.Reportf(e.Pos(),
+		"interface boxing of non-pointer value (%s) allocates in //m3v:noalloc function %s",
+		et, c.decl.Name.Name)
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures names the first variable of the enclosing function a func
+// literal closes over, or returns "" for capture-free literals (the
+// compiler turns those into static values).
+func (c *checker) captures(lit *ast.FuncLit) string {
+	inner := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+		return true
+	})
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || inner[obj] || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= c.decl.Pos() && obj.Pos() < lit.Pos() {
+			found = obj.Name()
+		}
+		return true
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return pass.TypesInfo.TypeOf(e)
+}
+
+func funcIdent(fd *ast.FuncDecl) ast.Expr { return fd.Name }

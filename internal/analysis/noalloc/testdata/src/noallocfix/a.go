@@ -1,0 +1,93 @@
+// Package noallocfix exercises every construct the noalloc analyzer knows
+// about, in annotated and unannotated functions.
+package noallocfix
+
+type ev struct {
+	at  int64
+	seq uint64
+}
+
+type queue struct {
+	heap []ev
+	ring []ev
+	head int
+	n    int
+}
+
+func sink(v interface{})           {}
+func psink(p *int)                 {}
+func take(e ev)                    {}
+func variadic(args ...interface{}) {}
+
+//m3v:noalloc
+func builtins() {
+	m := make(map[int]int) // want `make allocates`
+	_ = m
+	p := new(int) // want `new allocates`
+	_ = p
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	_ = s
+	ml := map[string]int{"a": 1} // want `map literal allocates`
+	_ = ml
+}
+
+//m3v:noalloc
+func values(q *queue, e ev) {
+	take(ev{at: 1, seq: 2}) // value struct literal stays on the stack
+	q.ring[q.head] = ev{}   // zeroing by value is allocation-free
+	ep := &ev{at: 3}        // want `composite literal escapes to the heap`
+	_ = ep
+}
+
+//m3v:noalloc
+func badAppend(q *queue, e ev) {
+	q.heap = append(q.heap, e) // want `append may grow its backing array`
+}
+
+//m3v:noalloc
+func amortizedAppend(q *queue, e ev) {
+	//m3vlint:ignore noalloc backing array growth is amortized; steady state reuses capacity
+	q.heap = append(q.heap, e)
+}
+
+//m3v:noalloc
+func closures(q *queue) func() int {
+	f := func() int { return q.n } // want `closure captures q`
+	g := func() int { return 42 }  // capture-free literals are static
+	_ = g
+	return f
+}
+
+//m3v:noalloc
+func boxing(i int, p *int, e ev) {
+	sink(i)               // want `interface boxing of non-pointer value \(int\)`
+	sink(p)               // pointers fit the interface word
+	sink(e)               // want `interface boxing of non-pointer value`
+	variadic(p, i)        // want `interface boxing of non-pointer value \(int\)`
+	var x interface{} = i // want `interface boxing of non-pointer value \(int\)`
+	_ = x
+	var y interface{} = p // no boxing: pointer-shaped
+	_ = y
+}
+
+//m3v:noalloc
+func boxReturn(i int) interface{} {
+	return i // want `interface boxing of non-pointer value \(int\)`
+}
+
+//m3v:noalloc
+func panicPath(i int) {
+	if i < 0 {
+		panic(i) // failure path: exempt
+	}
+}
+
+// unannotated functions may allocate freely.
+func unannotated() interface{} {
+	m := make(map[int]int)
+	s := []int{1}
+	f := func() int { return len(s) }
+	_ = f()
+	m[0] = 1
+	return m[0]
+}

@@ -1,0 +1,20 @@
+// Package suite assembles the m3vlint analyzers. cmd/m3vlint and the
+// repo-wide regression test both consume this list, so adding an analyzer
+// here enrolls it in CI automatically.
+package suite
+
+import (
+	"m3v/internal/analysis"
+	"m3v/internal/analysis/detmap"
+	"m3v/internal/analysis/metricname"
+	"m3v/internal/analysis/noalloc"
+	"m3v/internal/analysis/walltime"
+)
+
+// Analyzers is the full m3vlint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	detmap.Analyzer,
+	walltime.Analyzer,
+	noalloc.Analyzer,
+	metricname.Analyzer,
+}

@@ -1,0 +1,47 @@
+package suite_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis"
+	"m3v/internal/analysis/load"
+	"m3v/internal/analysis/suite"
+)
+
+// TestRepoIsLintClean runs the full m3vlint suite over the module, exactly
+// as the ci.sh lint stage does. Every finding here is a real invariant
+// violation (or needs a justified //m3vlint:ignore directive at the site).
+func TestRepoIsLintClean(t *testing.T) {
+	units, err := load.Packages("../../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(units) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader broken?", len(units))
+	}
+	findings, err := analysis.Run(units, suite.Analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSuiteComposition pins that every analyzer stays enrolled: dropping
+// one from the suite silently un-enforces its invariant.
+func TestSuiteComposition(t *testing.T) {
+	want := map[string]bool{"detmap": true, "walltime": true, "noalloc": true, "metricname": true}
+	for _, a := range suite.Analyzers {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no documentation", a.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("analyzer %q missing from the suite", name)
+	}
+}

@@ -1,0 +1,17 @@
+// Command m3vbench's fixture pins walltime's cmd/ carve-out: harness
+// binaries measure real wall time (bench-json timestamps, speedup
+// reports), so nothing here is flagged. This mirrors the real
+// cmd/m3vbench/main.go timestamp and wall-clock usage.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	timestamp := time.Now().UTC().Format(time.RFC3339) // exempt: cmd/
+	t0 := time.Now()                                   // exempt: cmd/
+	wall := time.Since(t0)                             // exempt: cmd/
+	fmt.Println(timestamp, wall)
+}

@@ -1,0 +1,36 @@
+// Package sim exercises walltime inside a simulation package: host-clock
+// reads and the global math/rand generator are flagged, seeded generators
+// and their methods are not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Time int64
+
+func badClock(t0 time.Time) (time.Time, time.Duration, time.Duration) {
+	now := time.Now()       // want `time\.Now reads the wall clock`
+	since := time.Since(t0) // want `time\.Since reads the wall clock`
+	until := time.Until(t0) // want `time\.Until reads the wall clock`
+	return now, since, until
+}
+
+func badRand() int {
+	return rand.Intn(16) // want `rand\.Intn uses the process-global generator`
+}
+
+func goodRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Intn(16)                   // methods on the seeded generator are allowed
+}
+
+func goodSimTime(now Time, d Time) Time {
+	return now + d // simulated time needs no wall clock
+}
+
+func suppressed() int64 {
+	//m3vlint:ignore walltime one-off calibration constant computed at init, not on the sim path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+// Test files are exempt: wall-clock timing of the simulator itself (not
+// of simulated time) is a legitimate test concern.
+package sim
+
+import "time"
+
+func testOnlyTiming() time.Time {
+	return time.Now() // exempt: _test.go
+}

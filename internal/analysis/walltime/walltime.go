@@ -1,0 +1,73 @@
+// Package walltime implements the m3vlint analyzer that keeps wall-clock
+// time and unseeded global randomness out of the simulation packages. The
+// simulator models time itself (sim.Time advanced by the event loop), so
+// any read of the host's clock or of math/rand's process-global generator
+// makes results vary between runs and machines.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"m3v/internal/analysis"
+)
+
+// Analyzer flags wall-clock and global-rand reads outside cmd/ and test
+// files.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: `forbid wall-clock time and global math/rand in simulation packages
+
+Simulation code must take time from the sim clock (sim.Clock, Engine.Now)
+and randomness from a seeded *rand.Rand owned by the workload. time.Now,
+time.Since, and time.Until read the host clock; math/rand's package-level
+functions draw from the process-global, non-reproducible generator. Both
+are flagged everywhere except under cmd/ (harness binaries measure real
+wall time for bench reports) and in _test.go files. Constructors
+(rand.New, rand.NewSource, rand.NewZipf) stay allowed: they are how the
+seeded generators are built.`,
+	Run: run,
+}
+
+// forbiddenTime lists the time package functions that read the host clock.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if analysis.IsCmd(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. rng.Intn on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in simulation package %s: "+
+						"use the sim clock (sim.Clock / Engine.Now) instead", fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(), "rand.%s uses the process-global generator in simulation package %s: "+
+						"use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead", fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

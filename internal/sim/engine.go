@@ -41,6 +41,7 @@ type eventQueue struct {
 	n    int     // ring occupancy
 }
 
+//m3v:noalloc
 func evLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -51,7 +52,10 @@ func evLess(a, b *event) bool {
 func (q *eventQueue) len() int { return len(q.heap) + q.n }
 
 // pushHeap inserts an event with at > the ring's timestamp domain.
+//
+//m3v:noalloc
 func (q *eventQueue) pushHeap(ev event) {
+	//m3vlint:ignore noalloc backing array growth is amortized; steady state reuses capacity (see BenchmarkEngineSchedule alloc guard)
 	h := append(q.heap, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -66,6 +70,8 @@ func (q *eventQueue) pushHeap(ev event) {
 }
 
 // popHeap removes and returns the minimum heap event.
+//
+//m3v:noalloc
 func (q *eventQueue) popHeap() event {
 	h := q.heap
 	top := h[0]
@@ -100,7 +106,11 @@ func (q *eventQueue) popHeap() event {
 	return top
 }
 
-// pushRing appends an event scheduled at the current time.
+// pushRing appends an event scheduled at the current time. Growth lives in
+// growRing, which is deliberately left un-annotated: it is the amortized
+// cold path.
+//
+//m3v:noalloc
 func (q *eventQueue) pushRing(ev event) {
 	if q.n == len(q.ring) {
 		q.growRing()
@@ -122,6 +132,7 @@ func (q *eventQueue) growRing() {
 	q.head = 0
 }
 
+//m3v:noalloc
 func (q *eventQueue) popRing() event {
 	ev := q.ring[q.head]
 	q.ring[q.head] = event{} // release the closure for GC
@@ -132,6 +143,8 @@ func (q *eventQueue) popRing() event {
 
 // peekAt reports the timestamp of the next event. The queue must be
 // non-empty.
+//
+//m3v:noalloc
 func (q *eventQueue) peekAt() Time {
 	if q.n > 0 {
 		at := q.ring[q.head].at
@@ -145,6 +158,8 @@ func (q *eventQueue) peekAt() Time {
 
 // pop removes and returns the event with the smallest (at, seq). The queue
 // must be non-empty.
+//
+//m3v:noalloc
 func (q *eventQueue) pop() event {
 	if q.n == 0 {
 		return q.popHeap()
@@ -217,6 +232,8 @@ func (e *Engine) trace(format string, args ...interface{}) {
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would violate causality. Steady-state scheduling is allocation-free:
 // events are stored by value and the queue's arrays are reused across pops.
+//
+//m3v:noalloc
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
@@ -230,6 +247,8 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // After schedules fn to run d after the current time.
+//
+//m3v:noalloc
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // Stop makes the Run loop return after the current event completes. Pending
@@ -245,12 +264,15 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 // limit if at least one event beyond it remains queued). The clock never
 // moves backwards: a limit below the current time (for example after a Stop
 // mid-run) leaves it where the last executed event put it.
+//
+//m3v:noalloc
 func (e *Engine) RunUntil(limit Time) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
 	e.stopped = false
+	//m3vlint:ignore noalloc one closure per RunUntil call, not per event; the dispatch loop below is the guarded path
 	defer func() { e.running = false }()
 	for !e.stopped && e.queue.len() > 0 {
 		if e.queue.peekAt() > limit {

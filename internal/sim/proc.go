@@ -90,6 +90,8 @@ func (p *Proc) Now() Time { return p.e.now }
 
 // Sleep suspends the process for d. A Wake during the sleep does not shorten
 // it but is remembered and reported by the next Park (see Wake).
+//
+//m3v:noalloc
 func (p *Proc) Sleep(d Time) {
 	e := p.e
 	e.At(e.now+d, p.resumeFn)
@@ -99,6 +101,8 @@ func (p *Proc) Sleep(d Time) {
 // Park suspends the process until another component calls Wake. If a Wake
 // already arrived while the process was running (an "interrupt"), Park
 // returns immediately and consumes it; this closes the lost-wakeup window.
+//
+//m3v:noalloc
 func (p *Proc) Park() {
 	if p.interrupted {
 		p.interrupted = false
@@ -112,6 +116,8 @@ func (p *Proc) Park() {
 // from handler context or from another process. Waking a process that is not
 // parked sets its interrupt flag instead, so the wake-up is not lost.
 // Duplicate wakes coalesce.
+//
+//m3v:noalloc
 func (p *Proc) Wake() {
 	if p.done {
 		return
@@ -128,6 +134,8 @@ func (p *Proc) Wake() {
 }
 
 // completeWake is the queued half of Wake, cached in wakeFn.
+//
+//m3v:noalloc
 func (p *Proc) completeWake() {
 	p.wakePending = false
 	if !p.parked {

@@ -112,6 +112,7 @@ func (m *Mux) PageFaults() int64 { return m.cPageFaults.Value() }
 // activity (ActIdle for switches to idle), a scheduling diagnostic.
 func (m *Mux) SwitchTargets() map[dtu.ActID]int64 {
 	out := make(map[dtu.ActID]int64, len(m.switchTargets))
+	//m3vlint:ignore detmap order-insensitive: writes into a fresh map keyed by the range key; Counter.Value is a pure read
 	for id, c := range m.switchTargets {
 		out[id] = c.Value()
 	}

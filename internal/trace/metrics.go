@@ -86,13 +86,19 @@ type Counter struct {
 func (c *Counter) Name() string { return c.name }
 
 // Inc adds one.
+//
+//m3v:noalloc
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n.
+//
+//m3v:noalloc
 func (c *Counter) Add(n int64) { c.v += n }
 
 // Value returns the current count. A nil counter reads as zero, so optional
 // instruments need no guards.
+//
+//m3v:noalloc
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -117,6 +123,8 @@ type Histogram struct {
 func (h *Histogram) Name() string { return h.name }
 
 // Observe records one value. Negative values are clamped to zero.
+//
+//m3v:noalloc
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -43,6 +43,8 @@ func (r *Recorder) Disable() { r.enabled = false }
 
 // Enabled reports whether events are being recorded. A nil recorder is
 // permanently disabled.
+//
+//m3v:noalloc
 func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 
 // Metrics returns the recorder's registry (never nil on a non-nil recorder).
@@ -65,18 +67,24 @@ func (r *Recorder) Reset() {
 }
 
 // Emit appends a raw event if the stream is enabled.
+//
+//m3v:noalloc
 func (r *Recorder) Emit(ev Event) {
 	if r == nil || !r.enabled {
 		return
 	}
+	//m3vlint:ignore noalloc enabled-path event buffer grows amortized; the disabled fast path above allocates nothing
 	r.events = append(r.events, ev)
 }
 
 // CtxSwitch records a TileMux context switch from activity `from` to `to`.
+//
+//m3v:noalloc
 func (r *Recorder) CtxSwitch(at, dur int64, tile int, from, to int64, reason SwitchReason) {
 	if r == nil || !r.enabled {
 		return
 	}
+	//m3vlint:ignore noalloc enabled-path event buffer grows amortized; the disabled fast path above allocates nothing
 	r.events = append(r.events, Event{
 		At: at, Dur: dur, Tile: int32(tile), Comp: CompTileMux, Kind: KindCtxSwitch,
 		Arg0: from, Arg1: to, Arg2: int64(reason),
@@ -85,10 +93,13 @@ func (r *Recorder) CtxSwitch(at, dur int64, tile int, from, to int64, reason Swi
 
 // DTUCmd records one unprivileged DTU command with its blocking duration,
 // payload size and error code (0 = success).
+//
+//m3v:noalloc
 func (r *Recorder) DTUCmd(at, dur int64, tile int, cmd DTUCmd, ep, bytes, errCode int64) {
 	if r == nil || !r.enabled {
 		return
 	}
+	//m3vlint:ignore noalloc enabled-path event buffer grows amortized; the disabled fast path above allocates nothing
 	r.events = append(r.events, Event{
 		At: at, Dur: dur, Tile: int32(tile), Comp: CompDTU, Kind: KindDTUCmd,
 		Arg0: int64(cmd), Arg1: ep, Arg2: bytes, Arg3: errCode,
@@ -152,6 +163,8 @@ func (r *Recorder) Irq(at int64, tile int, pending int64) {
 }
 
 // NoCPacket records one delivery attempt at the destination tile.
+//
+//m3v:noalloc
 func (r *Recorder) NoCPacket(at int64, src, dst int, size int64, delivered bool) {
 	if r == nil || !r.enabled {
 		return
@@ -160,6 +173,7 @@ func (r *Recorder) NoCPacket(at int64, src, dst int, size int64, delivered bool)
 	if delivered {
 		ok = 1
 	}
+	//m3vlint:ignore noalloc enabled-path event buffer grows amortized; the disabled fast path above allocates nothing
 	r.events = append(r.events, Event{
 		At: at, Tile: int32(dst), Comp: CompNoC, Kind: KindNoCPacket,
 		Arg0: int64(src), Arg1: int64(dst), Arg2: size, Arg3: ok,
