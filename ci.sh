@@ -13,8 +13,9 @@ go vet ./...
 
 echo "== m3vlint =="
 # Project-specific invariants: determinism (detmap, walltime), hot-path
-# allocation discipline (noalloc), and metric naming (metricname). Any
-# diagnostic fails the gate; suppressions need //m3vlint:ignore with a reason.
+# allocation discipline (noalloc), and metric/span naming (metricname,
+# spanname). Any diagnostic fails the gate; suppressions need
+# //m3vlint:ignore with a reason.
 go run ./cmd/m3vlint ./...
 
 echo "== go build =="
@@ -37,6 +38,25 @@ echo "== bench smoke =="
 # regular tests) and of the fastest figure benchmark.
 go test -run '^$' -bench 'EngineSchedule|EnginePingPong' -benchtime 1x ./internal/sim
 go test -run '^$' -bench 'Fig9FindOneTile' -benchtime 1x .
+
+echo "== m3vtrace smoke =="
+# End-to-end flow tracing gate: a small Figure-6-style run dumps its span
+# streams, m3vtrace -check verifies well-formedness (every begin has an
+# end, children enclosed by parents, every completed message resolves to
+# exactly one fast/slow verdict), and the report must parse segments. The
+# fig9 one-tile run covers the M3x slow path, so both verdicts are checked.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+go run ./cmd/m3vsim -rounds 10 -shared -flows "$TRACE_TMP/fig6.json" > /dev/null
+go run ./cmd/m3vtrace -check "$TRACE_TMP/fig6.json"
+go run ./cmd/m3vtrace -perfetto "$TRACE_TMP/fig6-perfetto.json" \
+    "$TRACE_TMP/fig6.json" | grep -q 'dtu.send'
+grep -q '"ph":"s"' "$TRACE_TMP/fig6-perfetto.json"   # flow arrows present
+go run ./cmd/m3vtrace "$TRACE_TMP/fig6.json" | grep -Eq '[1-9][0-9]* fast'
+go run ./cmd/m3vbench -run fig9 -fig9-tiles 1 -flows "$TRACE_TMP/fig9.json" > /dev/null
+go run ./cmd/m3vtrace -check "$TRACE_TMP/fig9.json"
+go run ./cmd/m3vtrace "$TRACE_TMP/fig9.json" | grep -Eq '[1-9][0-9]* slow,'
+go run ./cmd/m3vtrace "$TRACE_TMP/fig9.json" | grep -q 'kernel.forward'
 
 echo "== bench json =="
 # Record the perf trajectory: wall clock per experiment plus the

@@ -82,6 +82,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	traceFile := flag.String("trace", "", "write a merged Chrome trace-event JSON file of all simulated runs")
+	flowsFile := flag.String("flows", "", "write the causal span streams of all runs as m3vflows JSON (analyze with m3vtrace)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of each simulated run")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent sweep points (1 = serial)")
 	benchJSON := flag.String("bench-json", "", "write wall-clock and simulated metrics to this JSON file")
@@ -112,8 +113,8 @@ func main() {
 	// -parallel the registration order follows run completion, so merged
 	// traces are ordered by (run, timestamp) with run indices assigned in
 	// completion order rather than table order.
-	if *traceFile != "" || *metrics {
-		trace.SetAutoRegister(true, *traceFile != "")
+	if *traceFile != "" || *flowsFile != "" || *metrics {
+		trace.SetAutoRegister(true, *traceFile != "" || *flowsFile != "")
 		defer trace.SetAutoRegister(false, false)
 	}
 	ids := order
@@ -185,6 +186,23 @@ func main() {
 			total += len(r.Events())
 		}
 		fmt.Printf("trace: %d events from %d runs -> %s\n", total, len(recs), *traceFile)
+	}
+	if *flowsFile != "" {
+		f, err := os.Create(*flowsFile)
+		if err != nil {
+			fail("flows: %v", err)
+		}
+		if err := trace.WriteFlows(f, recs); err != nil {
+			fail("flows: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("flows: %v", err)
+		}
+		total := 0
+		for _, r := range recs {
+			total += len(r.Spans())
+		}
+		fmt.Printf("flows: %d spans from %d runs -> %s\n", total, len(recs), *flowsFile)
 	}
 	if *metrics {
 		for i, r := range recs {

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"m3v"
+	"m3v/internal/trace"
 )
 
 type share struct {
@@ -24,6 +25,7 @@ func main() {
 	shared := flag.Bool("shared", false, "co-locate client and server on one tile")
 	gem5 := flag.Bool("gem5", false, "use the 3 GHz gem5-style platform instead of the FPGA layout")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+	flowsFile := flag.String("flows", "", "write the causal span streams as m3vflows JSON (analyze with m3vtrace)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
 	flag.Parse()
 
@@ -33,7 +35,7 @@ func main() {
 	}
 	sys := m3v.NewSystem(cfg)
 	defer sys.Shutdown()
-	if *traceFile != "" {
+	if *traceFile != "" || *flowsFile != "" {
 		sys.Eng.Tracer().Enable()
 	}
 	procs := sys.Cfg.ProcessingTiles()
@@ -101,6 +103,19 @@ func main() {
 			log.Fatalf("trace: %v", err)
 		}
 		fmt.Printf("trace:    %d events -> %s\n", len(rec.Events()), *traceFile)
+	}
+	if *flowsFile != "" {
+		f, err := os.Create(*flowsFile)
+		if err != nil {
+			log.Fatalf("flows: %v", err)
+		}
+		if err := trace.WriteFlows(f, []*trace.Recorder{rec}); err != nil {
+			log.Fatalf("flows: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("flows: %v", err)
+		}
+		fmt.Printf("flows:    %d spans -> %s\n", len(rec.Spans()), *flowsFile)
 	}
 	if *metrics {
 		fmt.Println()

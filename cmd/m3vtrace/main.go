@@ -1,0 +1,84 @@
+// m3vtrace analyzes causal span streams dumped by m3vsim/m3vbench -flows:
+// it prints per-message latency breakdowns by segment and the critical-path
+// report (which segment dominates each flow's end-to-end latency, split by
+// fast/slow verdict), checks span-stream well-formedness, and exports the
+// flows as Perfetto-loadable JSON with connected flow arrows.
+//
+//	m3vsim -shared -flows flows.json
+//	m3vtrace flows.json                      # latency + critical-path report
+//	m3vtrace -check flows.json               # exit non-zero on malformed streams
+//	m3vtrace -perfetto t.json flows.json     # Chrome/Perfetto export with arrows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m3v/internal/trace"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "m3vtrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	check := flag.Bool("check", false, "verify span-stream well-formedness; exit non-zero on problems")
+	perfetto := flag.String("perfetto", "", "also write a Chrome trace-event JSON file with flow arrows")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: m3vtrace [-check] [-perfetto out.json] flows.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	flows, err := trace.ReadFlows(f)
+	f.Close()
+	if err != nil {
+		fail("%v", err)
+	}
+
+	problems := trace.CheckFlows(flows)
+	if *check {
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "m3vtrace: %s\n", p)
+			}
+			fail("%d problem(s) found", len(problems))
+		}
+		total := 0
+		for _, run := range flows.Runs {
+			total += len(run.Spans)
+		}
+		fmt.Printf("ok: %d spans in %d runs, all streams well-formed\n", total, len(flows.Runs))
+		return
+	}
+	// In report mode still surface problems, but don't fail the run.
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "m3vtrace: warning: %s\n", p)
+	}
+
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := trace.WriteFlowsChrome(out, flows); err != nil {
+			fail("perfetto: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fail("perfetto: %v", err)
+		}
+		fmt.Printf("perfetto: %s\n", *perfetto)
+	}
+
+	fmt.Print(trace.AnalyzeFlows(flows).Format())
+}

@@ -1,0 +1,127 @@
+// Package spanname implements the m3vlint analyzer that governs causal
+// span names. Span names are the vocabulary of the flow reports and the
+// Perfetto export — cmd/m3vtrace groups latency by them and ci greps them —
+// so they follow the same component.noun convention as metric names and
+// must stay unique module-wide:
+//
+//   - every entry of a spanNames table (in a package with import-path
+//     suffix internal/trace) is a lowercase dotted name, segments
+//     [a-z][a-z0-9_]*, at least two segments;
+//   - no two table entries across the module spell the same name (the
+//     empty string is exempt: it is the SpanNone sentinel).
+//
+// Unlike metric names, span names are never built dynamically — they only
+// exist in the spanNames table — so the analyzer checks the table's
+// composite literal instead of chasing call sites.
+package spanname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"m3v/internal/analysis"
+)
+
+// Analyzer checks the spanNames tables.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanname",
+	Doc: `enforce convention-following, unique span names
+
+Every entry of a spanNames table in an internal/trace package must match
+component.noun[.more] with lowercase [a-z][a-z0-9_]* segments, and no two
+entries across the module may spell the same name. The empty string is the
+SpanNone sentinel and exempt.`,
+	Run: run,
+}
+
+// tracePkgSuffix identifies the span-table package; matching by suffix
+// keeps the analyzer testable against fixture stubs of the same shape.
+const tracePkgSuffix = "internal/trace"
+
+// tableName is the variable holding the span-name table.
+const tableName = "spanNames"
+
+var fullName = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// site records where a span name was first registered.
+type site struct {
+	pos token.Position
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	p := pass.Pkg.Path()
+	if p != "m3v/"+tracePkgSuffix && !strings.HasSuffix(p, "/"+tracePkgSuffix) {
+		return nil, nil
+	}
+	seen, _ := pass.Store["spans"].(map[string]site)
+	if seen == nil {
+		seen = map[string]site{}
+		pass.Store["spans"] = seen
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range spec.Names {
+				if name.Name != tableName || i >= len(spec.Values) {
+					continue
+				}
+				cl, ok := spec.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					expr := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						expr = kv.Value
+					}
+					s, ok := stringOf(pass, expr)
+					if !ok {
+						pass.Reportf(expr.Pos(),
+							"span name is not a constant string: the %s table is the "+
+								"single source of span vocabulary and must stay auditable", tableName)
+						continue
+					}
+					if s == "" {
+						continue // the SpanNone sentinel
+					}
+					if !fullName.MatchString(s) {
+						pass.Reportf(expr.Pos(),
+							"span name %q violates the component.noun convention "+
+								"(lowercase dotted segments, [a-z][a-z0-9_]*, at least two segments)", s)
+						continue
+					}
+					if prev, dup := seen[s]; dup {
+						pass.Reportf(expr.Pos(),
+							"duplicate span name %q: already registered at %s", s, prev.pos)
+						continue
+					}
+					seen[s] = site{pos: pass.Fset.Position(expr.Pos())}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// stringOf resolves a constant string expression (literal or const).
+func stringOf(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,16 @@
+package spanname_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/spanname"
+)
+
+func TestSpanname(t *testing.T) {
+	// The trace fixtures run in one pass and share the analyzer store,
+	// exercising module-wide uniqueness; spanuse shows that tables outside
+	// internal/trace are ignored.
+	analysistest.Run(t, "testdata", spanname.Analyzer,
+		"m3v/internal/trace", "other/internal/trace", "spanuse")
+}

@@ -1,0 +1,34 @@
+// Package trace is a fixture stub of the real span-name table: spanname
+// keys on the spanNames variable in packages with this import-path suffix,
+// so the stub exercises convention and in-table uniqueness checks.
+package trace
+
+type SpanName uint8
+
+const (
+	SpanNone SpanName = iota
+	SpanDTUSend
+	SpanDTUReply
+	SpanNoCXfer
+	SpanBadCase
+	SpanOneWord
+	SpanEmptySeg
+	SpanDupe
+	numSpanNames
+)
+
+const constName = "dtu.reply"
+
+var spanNames = [numSpanNames]string{
+	SpanNone:     "", // the sentinel is exempt
+	SpanDTUSend:  "dtu.send",
+	SpanDTUReply: constName, // consts resolve like literals
+	SpanNoCXfer:  "noc.xfer",
+	SpanBadCase:  "DTU.Send",  // want `violates the component\.noun convention`
+	SpanOneWord:  "send",      // want `violates the component\.noun convention`
+	SpanEmptySeg: "dtu..send", // want `violates the component\.noun convention`
+	SpanDupe:     "dtu.send",  // want `duplicate span name "dtu\.send"`
+}
+
+// otherTable is not the span vocabulary and is ignored.
+var otherTable = [2]string{"Whatever Goes", "dtu.send"}

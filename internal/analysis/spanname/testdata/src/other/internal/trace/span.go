@@ -1,0 +1,8 @@
+// Package trace is a second fixture table: uniqueness is module-wide, so
+// a name already claimed by m3v/internal/trace is a duplicate here too.
+package trace
+
+var spanNames = [...]string{
+	"mux.wakeup", // fresh name, fine
+	"noc.xfer",   // want `duplicate span name "noc\.xfer"`
+}

@@ -8,6 +8,7 @@ import (
 	"m3v/internal/analysis/detmap"
 	"m3v/internal/analysis/metricname"
 	"m3v/internal/analysis/noalloc"
+	"m3v/internal/analysis/spanname"
 	"m3v/internal/analysis/walltime"
 )
 
@@ -17,4 +18,5 @@ var Analyzers = []*analysis.Analyzer{
 	walltime.Analyzer,
 	noalloc.Analyzer,
 	metricname.Analyzer,
+	spanname.Analyzer,
 }

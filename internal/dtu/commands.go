@@ -31,12 +31,22 @@ type SendArgs struct {
 // credit, since no message is in flight afterwards.
 func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 	start := d.eng.Now()
-	err := d.send(p, a)
+	// Mint the message's flow ID and open the root span before the inner
+	// command runs, so nested emissions (TLB check) can parent to it. The
+	// core token serializes commands per tile, so the cur* registers cannot
+	// be clobbered by a concurrent command.
+	flow := d.rec.MintFlow()
+	d.curFlow = flow
+	d.curSpan = d.rec.BeginSpan(flow, 0, trace.SpanDTUSend, int64(start), int(d.tile), trace.CompDTU)
+	err := d.send(p, a, flow)
+	d.rec.EndSpanArgs(d.curSpan, int64(d.eng.Now()), trace.PathNone, int64(a.Ep), errCode(err))
+	d.curFlow, d.curSpan = 0, 0
+	d.lastFlow = flow
 	d.traceCmd(start, trace.CmdSend, a.Ep, len(a.Data), err)
 	return err
 }
 
-func (d *DTU) send(p *sim.Proc, a SendArgs) error {
+func (d *DTU) send(p *sim.Proc, a SendArgs, flow uint64) error {
 	d.charge(p, d.costs.SendCmd)
 	e, err := d.epFor(a.Ep, EpSend)
 	if err != nil {
@@ -64,6 +74,7 @@ func (d *DTU) send(p *sim.Proc, a SendArgs) error {
 		ReplyEp:    a.ReplyEp,
 		CrdEp:      crdEp,
 		ReplyLabel: a.ReplyLabel,
+		Flow:       flow,
 		Data:       append([]byte(nil), a.Data...),
 	}
 	d.m.sends.Inc()
@@ -81,12 +92,18 @@ func (d *DTU) send(p *sim.Proc, a SendArgs) error {
 // the credit return for the original request.
 func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
 	start := d.eng.Now()
-	err := d.reply(p, ep, slot, data, vaddr)
+	flow := d.rec.MintFlow()
+	d.curFlow = flow
+	d.curSpan = d.rec.BeginSpan(flow, 0, trace.SpanDTUReply, int64(start), int(d.tile), trace.CompDTU)
+	err := d.reply(p, ep, slot, data, vaddr, flow)
+	d.rec.EndSpanArgs(d.curSpan, int64(d.eng.Now()), trace.PathNone, int64(ep), errCode(err))
+	d.curFlow, d.curSpan = 0, 0
+	d.lastFlow = flow
 	d.traceCmd(start, trace.CmdReply, ep, len(data), err)
 	return err
 }
 
-func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
+func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64, flow uint64) error {
 	d.charge(p, d.costs.ReplyCmd)
 	e, err := d.epFor(ep, EpReceive)
 	if err != nil {
@@ -115,6 +132,7 @@ func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) e
 		SndAct:  d.curAct,
 		ReplyEp: -1,
 		CrdEp:   -1,
+		Flow:    flow,
 		Data:    append([]byte(nil), data...),
 	}
 	d.m.replies.Inc()
@@ -144,8 +162,11 @@ func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) 
 		done = true
 		p.Wake()
 	}
+	flow := pkt.Msg.Flow
 	d.eng.After(d.costs.Proc, func() {
-		d.net.Send(d.net.NewPacket(d.tile, dst, headerBytes+payload, pkt))
+		np := d.net.NewPacket(d.tile, dst, headerBytes+payload, pkt)
+		np.Flow = flow
+		d.net.Send(np)
 	})
 	for !done {
 		p.Park()
@@ -162,6 +183,11 @@ func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
 	bytes := 0
 	if m != nil {
 		bytes = len(m.Data)
+		// The flow's receive-side terminus: the recipient consumed the
+		// message. A root span of its own — the sender's command span may
+		// long be closed by now.
+		d.rec.EmitSpan(m.Flow, 0, trace.SpanDTUFetch, int64(start), int64(d.eng.Now()),
+			int(d.tile), trace.CompDTU, trace.PathNone, int64(ep), int64(bytes))
 	}
 	d.traceCmd(start, trace.CmdFetch, ep, bytes, err)
 	return slot, m, err

@@ -14,6 +14,15 @@ import (
 // absorbed by the NoC's packet-based flow control.
 const coreReqDepth = 4
 
+// coreReq is one queued core request: the activity that received a message
+// while not running, plus the trace flow/span of the message that raised it
+// (flow 0 and a no-op span when tracing is disabled).
+type coreReq struct {
+	act  ActID
+	flow uint64
+	span trace.SpanRef
+}
+
 // DTU models one tile's data transfer unit. With virt=true it is the vDTU
 // carrying the privileged interface (activity-tagged endpoints, TLB, core
 // requests); with virt=false it is the plain DTU used on controller,
@@ -32,7 +41,16 @@ type DTU struct {
 	curAct  ActID
 	curMsgs int // unread-message count of the current activity (CUR_ACT)
 
-	coreReqs []ActID
+	coreReqs []coreReq
+
+	// curFlow/curSpan hold the trace flow of the in-flight SEND/REPLY
+	// command so nested emissions (the TLB check) can attach to it as
+	// children; lastFlow keeps the most recent command's flow so the M³x
+	// slow path can carry it through the controller in-band. All three are
+	// 0 when tracing is disabled.
+	curFlow  uint64
+	curSpan  trace.SpanRef
+	lastFlow uint64
 
 	// OnCoreReq is the core-request interrupt: the vDTU injects it into the
 	// core to notify TileMux that a non-running activity received a message.
@@ -249,7 +267,10 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 		// delivered (paper §3.8).
 		notPresent = true
 	}
+	now := int64(d.eng.Now())
 	if notPresent {
+		d.rec.EmitSpan(pl.Msg.Flow, 0, trace.SpanDTUDeliver, now, now, int(d.tile),
+			trace.CompDTU, trace.PathNone, int64(pl.DstEp), deliverNoRecipient)
 		ack := pl.Ack
 		d.eng.After(d.costs.Proc, func() {
 			d.respond(src, headerBytes, func() { ack(ErrNoRecipient) })
@@ -259,18 +280,27 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 	slot := e.freeSlot()
 	if slot < 0 {
 		d.m.nacked.Inc()
+		d.rec.EmitSpan(pl.Msg.Flow, 0, trace.SpanDTUDeliver, now, now, int(d.tile),
+			trace.CompDTU, trace.PathNone, int64(pl.DstEp), deliverNacked)
 		return false // receive buffer full: NoC-level backpressure
 	}
 	if d.virt && e.Act != d.curAct && e.Act != ActInvalid && len(d.coreReqs) >= coreReqDepth {
 		// Core-request queue overrun: absorbed by packet flow control
 		// (paper §3.8).
 		d.m.nacked.Inc()
+		d.rec.EmitSpan(pl.Msg.Flow, 0, trace.SpanDTUDeliver, now, now, int(d.tile),
+			trace.CompDTU, trace.PathNone, int64(pl.DstEp), deliverNacked)
 		return false
 	}
 	bit := uint64(1) << uint(slot)
 	e.occupied |= bit
 	e.unread |= bit
 	e.slots[slot] = recvSlot{msg: pl.Msg}
+	// The message was stored by the DTU without controller involvement: the
+	// fast-path mark. On M³x a controller-forwarded message also ends here,
+	// but its kernel.forward span marks the flow slow, and slow wins.
+	d.rec.EmitSpan(pl.Msg.Flow, 0, trace.SpanDTUDeliver, now, now, int(d.tile),
+		trace.CompDTU, trace.PathFast, int64(pl.DstEp), deliverStored)
 	if pl.CrdRet >= 0 {
 		// Piggybacked credit return (a reply acknowledges the request).
 		d.returnCredits(pl.CrdRet)
@@ -278,7 +308,7 @@ func (d *DTU) deliverMsg(pkt *noc.Packet, pl msgPacket) bool {
 	if e.Act == d.curAct || e.Act == ActInvalid {
 		d.curMsgs++
 	} else if d.virt {
-		d.pushCoreReq(e.Act)
+		d.pushCoreReq(e.Act, pl.Msg.Flow)
 	}
 	if d.OnMsgArrived != nil {
 		act := e.Act
@@ -307,9 +337,11 @@ func (d *DTU) returnCredits(ep EpID) {
 	}
 }
 
-func (d *DTU) pushCoreReq(act ActID) {
+func (d *DTU) pushCoreReq(act ActID, flow uint64) {
 	wasEmpty := len(d.coreReqs) == 0
-	d.coreReqs = append(d.coreReqs, act)
+	span := d.rec.BeginSpan(flow, 0, trace.SpanDTUCoreReq,
+		int64(d.eng.Now()), int(d.tile), trace.CompDTU)
+	d.coreReqs = append(d.coreReqs, coreReq{act: act, flow: flow, span: span})
 	d.m.coreReqs.Inc()
 	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqRaise,
 		int64(act), int64(len(d.coreReqs)))

@@ -185,7 +185,7 @@ func TestVDTUDeliversToNonRunningActivity(t *testing.T) {
 		t.Errorf("core requests = %d, want 1", coreReqs)
 	}
 	r.eng.Spawn("mux", func(p *sim.Proc) {
-		act, ok := r.d1.FetchCoreReq(p)
+		act, _, ok := r.d1.FetchCoreReq(p)
 		if !ok || act != actB {
 			t.Errorf("core req = (%v,%v), want (actB,true)", act, ok)
 		}
@@ -390,7 +390,7 @@ func TestCoreReqQueueOverrunBackpressure(t *testing.T) {
 	}, func(p *sim.Proc) {
 		// TileMux drains core requests slowly.
 		for drained := 0; drained < 6; {
-			if _, ok := r.d1.FetchCoreReq(p); ok {
+			if _, _, ok := r.d1.FetchCoreReq(p); ok {
 				r.d1.AckCoreReq(p)
 				drained++
 			}

@@ -27,6 +27,11 @@ type Message struct {
 	CrdEp   EpID
 	// ReplyLabel is delivered as the Label of the reply message.
 	ReplyLabel uint64
+	// Flow is the message's trace flow ID, minted at the sending endpoint
+	// (0 when tracing is disabled). It is model metadata: it travels with
+	// the message through receive slots and saved endpoint state, but does
+	// not contribute to the on-wire size.
+	Flow uint64
 	// Data is the payload.
 	Data []byte
 }

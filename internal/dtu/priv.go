@@ -54,29 +54,33 @@ func (d *DTU) InvalidateTLBAct(p *sim.Proc, act ActID) {
 }
 
 // FetchCoreReq reads the head of the core-request queue: the activity that
-// received a message while not running. ok is false if the queue is empty.
-// The request stays queued until AckCoreReq.
-func (d *DTU) FetchCoreReq(p *sim.Proc) (act ActID, ok bool) {
+// received a message while not running, plus the trace flow of the message
+// that raised the request (0 when tracing is disabled). ok is false if the
+// queue is empty. The request stays queued until AckCoreReq.
+func (d *DTU) FetchCoreReq(p *sim.Proc) (act ActID, flow uint64, ok bool) {
 	d.requirePriv()
 	d.charge(p, d.costs.PrivCmd)
 	if len(d.coreReqs) == 0 {
-		return ActInvalid, false
+		return ActInvalid, 0, false
 	}
-	return d.coreReqs[0], true
+	return d.coreReqs[0].act, d.coreReqs[0].flow, true
 }
 
-// AckCoreReq pops the head core request. If more requests are queued, the
-// vDTU injects another interrupt (paper §3.8).
+// AckCoreReq pops the head core request and closes its dtu.core_req span.
+// If more requests are queued, the vDTU injects another interrupt (paper
+// §3.8).
 func (d *DTU) AckCoreReq(p *sim.Proc) {
 	d.requirePriv()
 	d.charge(p, d.costs.PrivCmd)
 	if len(d.coreReqs) == 0 {
 		return
 	}
-	act := d.coreReqs[0]
+	cr := d.coreReqs[0]
 	d.coreReqs = d.coreReqs[1:]
+	d.rec.EndSpanArgs(cr.span, int64(d.eng.Now()), trace.PathNone,
+		int64(cr.act), int64(len(d.coreReqs)))
 	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqDrain,
-		int64(act), int64(len(d.coreReqs)))
+		int64(cr.act), int64(len(d.coreReqs)))
 	if len(d.coreReqs) > 0 {
 		d.injectIrq()
 	}

@@ -34,6 +34,19 @@ func (d *DTU) CoreReqsRaised() int64 { return d.m.coreReqs.Value() }
 // (full receive buffer or core-request queue overrun).
 func (d *DTU) NackedDeliveries() int64 { return d.m.nacked.Value() }
 
+// Delivery status codes recorded in dtu.deliver spans (Arg1). Part of the
+// trace format.
+const (
+	deliverStored      = 0
+	deliverNoRecipient = 1
+	deliverNacked      = 2
+)
+
+// LastFlow reports the flow ID minted for the most recent SEND/REPLY command
+// on this DTU (0 when tracing is disabled). The M³x slow path reads it to
+// carry the failing command's flow through the controller in-band.
+func (d *DTU) LastFlow() uint64 { return d.lastFlow }
+
 // errCode maps a command error to the stable small integer recorded in
 // trace events (0 = success). The codes are part of the trace format.
 func errCode(err error) int64 {
@@ -73,14 +86,21 @@ func (d *DTU) traceCmd(start sim.Time, cmd trace.DTUCmd, ep EpID, bytes int, err
 	d.rec.DTUCmd(int64(start), int64(dur), int(d.tile), cmd, int64(ep), int64(bytes), errCode(err))
 }
 
-// traceTLB records the outcome of the single per-command TLB check.
+// traceTLB records the outcome of the single per-command TLB check, both as
+// a flat event and — when a SEND/REPLY flow is in flight — as an instant
+// child span of the command's root span.
 func (d *DTU) traceTLB(hit bool, vaddr uint64) {
 	if !d.rec.Enabled() {
 		return
 	}
 	kind := trace.KindTLBMiss
+	h := int64(0)
 	if hit {
 		kind = trace.KindTLBHit
+		h = 1
 	}
-	d.rec.TLB(int64(d.eng.Now()), int(d.tile), kind, int64(d.curAct), vaddr)
+	now := int64(d.eng.Now())
+	d.rec.TLB(now, int(d.tile), kind, int64(d.curAct), vaddr)
+	d.rec.EmitSpan(d.curFlow, d.curSpan, trace.SpanDTUTLB, now, now, int(d.tile),
+		trace.CompDTU, trace.PathNone, h, int64(vaddr))
 }

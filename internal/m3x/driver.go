@@ -9,6 +9,7 @@ import (
 	"m3v/internal/noc"
 	"m3v/internal/proto"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // DriverCosts is the controller-side cost model of the M³x baseline, in
@@ -56,6 +57,7 @@ type Driver struct {
 	Quantum sim.Time
 	tickDue bool
 	eng     *sim.Engine
+	rec     *trace.Recorder
 
 	// Forwards and Switches count slow-path events, for reports.
 	Forwards int64
@@ -65,6 +67,9 @@ type Driver struct {
 type pendingSwitch struct {
 	tile noc.TileID
 	act  uint32
+	// flow is the trace flow of the message whose delivery queued this
+	// switch (0 when untraced or for time-slice rotations).
+	flow uint64
 }
 
 // NewDriver wires an M³x driver into the kernel.
@@ -79,6 +84,7 @@ func NewDriver(eng *sim.Engine, k *kernel.Kernel) *Driver {
 		mirror:  make(map[noc.TileID]map[dtu.EpID]dtu.Endpoint),
 		started: make(map[noc.TileID][]uint32),
 		Quantum: 2 * sim.Millisecond,
+		rec:     eng.Tracer(),
 	}
 	k.OnEpConfigured = d.onEpConfigured
 	k.ConfigureVia = d.configureVia
@@ -128,7 +134,7 @@ func (d *Driver) onIdle(p *sim.Proc) {
 			}
 		}
 		if next != cur {
-			d.performSwitch(p, tile, next)
+			d.performSwitch(p, tile, next, 0)
 		}
 	}
 }
@@ -141,11 +147,15 @@ func (d *Driver) replyFallback(msg *dtu.Message, resp []byte) bool {
 	if rg == nil {
 		return false
 	}
+	// The controller's failed Reply command minted the reply's flow; the
+	// injected message keeps it so the recipient's fetch still links up.
+	flow := d.k.DTU().LastFlow()
 	ok := rg.InjectMessage(dtu.Message{
 		Label:   msg.ReplyLabel,
 		SndTile: d.k.DTU().Tile(),
 		ReplyEp: -1,
 		CrdEp:   -1,
+		Flow:    flow,
 		Data:    resp,
 	})
 	if !ok {
@@ -156,6 +166,11 @@ func (d *Driver) replyFallback(msg *dtu.Message, resp []byte) bool {
 			sg.Credits++
 		}
 	}
+	// Saved-state injection is controller-mediated delivery: mark the reply
+	// flow slow so it resolves to a verdict.
+	now := int64(d.eng.Now())
+	d.rec.EmitSpan(flow, 0, trace.SpanKernForward, now, now,
+		int(d.k.DTU().Tile()), trace.CompKernel, trace.PathSlow, 1, 1)
 	return true
 }
 
@@ -244,7 +259,13 @@ func (d *Driver) handleSyscall(p *sim.Proc, caller *kernel.ActEntry, op proto.Op
 		return nil, false, false
 	}
 	mode := r.U8()
+	// The flow of the failed fast-path attempt travels in-band: the slow
+	// path's spans join the same flow as the sender's original command.
+	// Always present on the wire (0 when untraced) so traced and untraced
+	// runs time identically.
+	flow := r.U64()
 	d.Forwards++
+	start := d.eng.Now()
 	p.Sleep(d.clk.Cycles(d.costs.Forward))
 	if mode == 0 {
 		// Request leg: routed through the sender's send gate.
@@ -266,9 +287,16 @@ func (d *Driver) handleSyscall(p *sim.Proc, caller *kernel.ActEntry, op proto.Op
 			ReplyEp:    replyEp,
 			CrdEp:      -1,
 			ReplyLabel: replyLabel,
+			Flow:       flow,
 			Data:       data,
 		}
-		return d.deliverSlow(p, sg.TgtTile, sg.TgtEp, msg, -1), false, true
+		span := d.rec.BeginSpan(flow, 0, trace.SpanKernForward,
+			int64(start), int(d.k.DTU().Tile()), trace.CompKernel)
+		queued := len(d.pending)
+		resp := d.deliverSlow(p, sg.TgtTile, sg.TgtEp, msg, -1)
+		d.rec.EndSpanArgs(span, int64(d.eng.Now()), trace.PathSlow,
+			0, int64(len(d.pending)-queued))
+		return resp, false, true
 	}
 	// Reply leg: routed by the original message's reply coordinates.
 	tile := noc.TileID(r.U32())
@@ -285,9 +313,16 @@ func (d *Driver) handleSyscall(p *sim.Proc, caller *kernel.ActEntry, op proto.Op
 		SndAct:  caller.Local,
 		ReplyEp: -1,
 		CrdEp:   -1,
+		Flow:    flow,
 		Data:    data,
 	}
-	return d.deliverSlow(p, tile, ep, msg, crdEp), false, true
+	span := d.rec.BeginSpan(flow, 0, trace.SpanKernForward,
+		int64(start), int(d.k.DTU().Tile()), trace.CompKernel)
+	queued := len(d.pending)
+	resp := d.deliverSlow(p, tile, ep, msg, crdEp)
+	d.rec.EndSpanArgs(span, int64(d.eng.Now()), trace.PathSlow,
+		1, int64(len(d.pending)-queued))
+	return resp, false, true
 }
 
 // deliverSlow delivers a message on behalf of a sender: directly if the
@@ -320,7 +355,7 @@ func (d *Driver) deliverSlow(p *sim.Proc, tile noc.TileID, ep dtu.EpID, msg dtu.
 		}
 	}
 	// Schedule the recipient after the caller got its reply.
-	d.pending = append(d.pending, pendingSwitch{tile: tile, act: owner})
+	d.pending = append(d.pending, pendingSwitch{tile: tile, act: owner, flow: msg.Flow})
 	return proto.Resp(proto.EOK, 0)
 }
 
@@ -329,7 +364,7 @@ func (d *Driver) postSyscall(p *sim.Proc) {
 	for len(d.pending) > 0 {
 		sw := d.pending[0]
 		d.pending = d.pending[1:]
-		d.performSwitch(p, sw.tile, sw.act)
+		d.performSwitch(p, sw.tile, sw.act, sw.flow)
 	}
 }
 
@@ -337,12 +372,13 @@ func (d *Driver) postSyscall(p *sim.Proc) {
 // activity, pull its DTU state over the NoC, push the target's saved state
 // back, and resume. Everything happens inline in the single controller
 // process.
-func (d *Driver) performSwitch(p *sim.Proc, tile noc.TileID, to uint32) {
+func (d *Driver) performSwitch(p *sim.Proc, tile noc.TileID, to uint32, flow uint64) {
 	cur := d.current[tile]
 	if cur == to {
 		return
 	}
 	d.Switches++
+	start := d.eng.Now()
 	p.Sleep(d.clk.Cycles(d.costs.Switch))
 	k := d.k
 	// 1. Stop whatever runs on the tile (reply arrives once it parked).
@@ -383,6 +419,8 @@ func (d *Driver) performSwitch(p *sim.Proc, tile noc.TileID, to uint32) {
 		panic(fmt.Sprintf("m3x: resume failed: %d", code))
 	}
 	d.current[tile] = to
+	d.rec.EmitSpan(flow, 0, trace.SpanKernSwitch, int64(start), int64(d.eng.Now()),
+		int(d.k.DTU().Tile()), trace.CompKernel, trace.PathNone, int64(tile), int64(to))
 }
 
 // SlowSend is the activity-side slow path for the request leg: on
@@ -391,6 +429,7 @@ func (d *Driver) performSwitch(p *sim.Proc, tile noc.TileID, to uint32) {
 func SlowSend(a *activity.Activity, args dtu.SendArgs) error {
 	req := proto.NewWriter(proto.OpForward).
 		U8(0).
+		U64(a.D.LastFlow()).
 		U32(uint32(args.Ep)).
 		U32(uint32(int32(args.ReplyEp))).
 		U64(args.ReplyLabel).
@@ -408,6 +447,7 @@ func SlowSend(a *activity.Activity, args dtu.SendArgs) error {
 func SlowReply(a *activity.Activity, orig *dtu.Message, data []byte) error {
 	req := proto.NewWriter(proto.OpForward).
 		U8(1).
+		U64(a.D.LastFlow()).
 		U32(uint32(orig.SndTile)).
 		U32(uint32(orig.ReplyEp)).
 		U64(orig.ReplyLabel).

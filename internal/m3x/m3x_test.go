@@ -1,12 +1,14 @@
 package m3x_test
 
 import (
+	"bytes"
 	"testing"
 
 	"m3v/internal/activity"
 	"m3v/internal/cap"
 	"m3v/internal/core"
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // share coordinates test programs at the model level.
@@ -132,5 +134,94 @@ func m3xClient(a *activity.Activity) {
 		if len(resp) == 4 && resp[3] == byte(i) {
 			sh.replies++
 		}
+	}
+}
+
+// TestM3xSlowPathSpans runs the same co-located workload with tracing on and
+// checks the flow model's slow side: streams stay well-formed, forwarded
+// messages resolve slow (the kernel.forward span wins over the final fast
+// store at the receiving DTU), and the controller's forwarding and remote
+// switching show up as kernel spans on the critical path.
+func TestM3xSlowPathSpans(t *testing.T) {
+	sys := core.New(core.Gem5Config(2).WithM3x())
+	defer sys.Shutdown()
+	sys.Eng.Tracer().Enable()
+	procs := sys.Cfg.ProcessingTiles()
+	rootTile, workTile := procs[0], procs[1]
+
+	sh := &share{}
+	const rounds = 4
+	root := sys.SpawnRoot(rootTile, "root", nil, func(a *activity.Activity) {
+		tiles := core.TileSels(a)
+		srvRef, err := a.Spawn(tiles[workTile], workTile, "server",
+			map[string]interface{}{"share": sh, "rounds": rounds, "root": a.ID}, m3xServer)
+		if err != nil {
+			t.Errorf("spawn server: %v", err)
+			return
+		}
+		for !sh.ready {
+			a.Compute(1000)
+			a.Yield()
+		}
+		cliRef, err := a.Spawn(tiles[workTile], workTile, "client",
+			map[string]interface{}{"share": sh, "rounds": rounds}, m3xClient)
+		if err != nil {
+			t.Errorf("spawn client: %v", err)
+			return
+		}
+		sel, err := a.SysDelegate(cliRef.ID, sh.rootSgateSel)
+		if err != nil {
+			t.Errorf("delegate to client: %v", err)
+			return
+		}
+		sh.cliSgateSel = sel
+		if _, err := a.SysWait(cliRef.ActSel); err != nil {
+			t.Errorf("wait client: %v", err)
+		}
+		if _, err := a.SysWait(srvRef.ActSel); err != nil {
+			t.Errorf("wait server: %v", err)
+		}
+	})
+	sys.Run(120 * sim.Second)
+	if !root.Done() {
+		t.Fatal("did not finish")
+	}
+
+	rec := sys.Eng.Tracer()
+	var buf bytes.Buffer
+	if err := trace.WriteFlows(&buf, []*trace.Recorder{rec}); err != nil {
+		t.Fatalf("WriteFlows: %v", err)
+	}
+	flows, err := trace.ReadFlows(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlows: %v", err)
+	}
+	if probs := trace.CheckFlows(flows); len(probs) != 0 {
+		t.Fatalf("span streams not well-formed: %v", probs)
+	}
+	rep := trace.AnalyzeFlows(flows)
+	if rep.SlowFlows < rounds {
+		t.Errorf("slow flows = %d, want >= %d (every co-located RPC leg forwards)",
+			rep.SlowFlows, rounds)
+	}
+	if rep.NoVerdict != 0 {
+		t.Errorf("%d flows without verdict", rep.NoVerdict)
+	}
+	if n := rec.CountSpans(trace.SpanKernForward); n < rounds {
+		t.Errorf("kernel.forward spans = %d, want >= %d", n, rounds)
+	}
+	if n := rec.CountSpans(trace.SpanKernSwitch); n < rounds {
+		t.Errorf("kernel.remote_switch spans = %d, want >= %d", n, rounds)
+	}
+	// The controller-forwarding segment must appear in the latency
+	// attribution of slow flows.
+	found := false
+	for _, s := range rep.Segments {
+		if s.Name == "kernel.forward" && s.Count >= rounds {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kernel.forward missing from the segment breakdown: %+v", rep.Segments)
 	}
 }

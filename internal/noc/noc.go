@@ -21,6 +21,10 @@ type Packet struct {
 	Src, Dst TileID
 	Size     int         // bytes on the wire
 	Payload  interface{} // model-level content, opaque to the NoC
+	// Flow is the trace flow ID of the message this packet carries (0 for
+	// untraced packets and non-message traffic). Model metadata only: it
+	// selects span emission and does not add wire bytes.
+	Flow uint64
 }
 
 // Handler receives packets delivered to a tile. Deliver reports whether the
@@ -140,6 +144,7 @@ func (n *Network) NewPacket(src, dst TileID, size int, payload interface{}) *Pac
 		pkt := n.freePkts[len(n.freePkts)-1]
 		n.freePkts = n.freePkts[:len(n.freePkts)-1]
 		pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = src, dst, size, payload
+		pkt.Flow = 0
 		return pkt
 	}
 	return &Packet{Src: src, Dst: dst, Size: size, Payload: payload}
@@ -157,15 +162,20 @@ type inflight struct {
 	n       *Network
 	pkt     *Packet
 	attempt int
-	fire    func() // cached: fl.deliver
-	retry   func() // cached: fl.transmit
+	// sentAt is the transmit time of the current attempt: the packet's
+	// enqueue stamp, recorded before router queueing and path latency.
+	sentAt sim.Time
+	// span is the noc.xfer span of the current attempt (0 when untraced).
+	span  trace.SpanRef
+	fire  func() // cached: fl.deliver
+	retry func() // cached: fl.transmit
 }
 
 func (n *Network) newInflight(pkt *Packet) *inflight {
 	if len(n.freeFlights) > 0 {
 		fl := n.freeFlights[len(n.freeFlights)-1]
 		n.freeFlights = n.freeFlights[:len(n.freeFlights)-1]
-		fl.pkt, fl.attempt = pkt, 0
+		fl.pkt, fl.attempt, fl.sentAt, fl.span = pkt, 0, 0, 0
 		return fl
 	}
 	fl := &inflight{n: n, pkt: pkt}
@@ -176,6 +186,7 @@ func (n *Network) newInflight(pkt *Packet) *inflight {
 
 func (n *Network) releaseInflight(fl *inflight) {
 	fl.pkt = nil
+	fl.span = 0
 	n.freeFlights = append(n.freeFlights, fl)
 }
 
@@ -189,6 +200,9 @@ func (n *Network) Send(pkt *Packet) {
 	if pkt.Src == pkt.Dst {
 		// Tile-local loopback through the DTU: one hop worth of latency,
 		// no router involvement.
+		fl.sentAt = n.eng.Now()
+		fl.span = n.rec.BeginSpan(pkt.Flow, 0, trace.SpanNoCXfer,
+			int64(fl.sentAt), int(pkt.Dst), trace.CompNoC)
 		n.eng.After(n.cfg.HopLatency+n.serialization(pkt.Size), fl.fire)
 		return
 	}
@@ -209,6 +223,15 @@ func (fl *inflight) transmit() {
 	}
 	n.routerFree[r] = start + ser
 	queueing := start - now
+	fl.sentAt = now
+	fl.span = n.rec.BeginSpan(pkt.Flow, 0, trace.SpanNoCXfer,
+		int64(now), int(pkt.Dst), trace.CompNoC)
+	if queueing > 0 {
+		// The router-contention share of the transfer, as an enclosed child.
+		n.rec.EmitSpan(pkt.Flow, fl.span, trace.SpanNoCQueue,
+			int64(now), int64(now+queueing), int(pkt.Dst), trace.CompNoC,
+			trace.PathNone, int64(r), 0)
+	}
 	n.eng.After(queueing+delay, fl.fire)
 }
 
@@ -218,16 +241,26 @@ func (fl *inflight) deliver() {
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler attached to tile %d", pkt.Dst))
 	}
+	// The packet event spans the attempt: stamped at its transmit (enqueue)
+	// time with the wire time as duration, not at the dequeue edge. (An
+	// earlier version stamped the enqueue event with the dequeue cycle,
+	// which mis-attributed queueing time; TestNoCPacketStampedAtTransmit
+	// pins the corrected stamping.)
+	now := n.eng.Now()
+	wire := int64(now - fl.sentAt)
 	if h.Deliver(pkt) {
 		n.cDelivered.Inc()
 		n.cBytes.Add(int64(pkt.Size))
-		n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), true)
+		n.rec.NoCPacket(int64(fl.sentAt), wire, int(pkt.Src), int(pkt.Dst), int64(pkt.Size), true)
+		n.rec.EndSpanArgs(fl.span, int64(now), trace.PathNone, int64(fl.attempt), 1)
 		n.releasePkt(pkt)
 		n.releaseInflight(fl)
 		return
 	}
 	n.cNacked.Inc()
-	n.rec.NoCPacket(int64(n.eng.Now()), int(pkt.Src), int(pkt.Dst), int64(pkt.Size), false)
+	n.rec.NoCPacket(int64(fl.sentAt), wire, int(pkt.Src), int(pkt.Dst), int64(pkt.Size), false)
+	n.rec.EndSpanArgs(fl.span, int64(now), trace.PathNone, int64(fl.attempt), 0)
+	fl.span = 0
 	if n.cfg.MaxRetries > 0 && fl.attempt+1 >= n.cfg.MaxRetries {
 		n.cDropped.Inc()
 		n.releasePkt(pkt)

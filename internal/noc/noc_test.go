@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 func TestStarMeshHops(t *testing.T) {
@@ -162,4 +163,48 @@ func TestMissingHandlerPanics(t *testing.T) {
 		}
 	}()
 	eng.Run()
+}
+
+// TestNoCPacketStampedAtTransmit pins the event-stamp fix: the NoCPacket
+// event is stamped at the attempt's transmit (enqueue) time with the wire
+// time as duration, so At+Dur is the dequeue (delivery) edge. An earlier
+// version stamped the event at the dequeue cycle with zero duration, which
+// made router-queueing time invisible and mis-attributed the enqueue edge.
+func TestNoCPacketStampedAtTransmit(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := eng.Tracer()
+	rec.Enable()
+	n := New(eng, StarMesh{NumTiles: 12}, Config{
+		HopLatency:   15 * sim.Nanosecond,
+		BandwidthBps: 1_600_000_000,
+	})
+	n.Attach(1, HandlerFunc(func(pkt *Packet) bool { return true }))
+	// Tiles 0 and 4 share ingress router 0: both transmit at t=0, the
+	// second queues behind the first's serialization time (100ns for 160
+	// bytes at 1.6GB/s). Both are 3 hops from tile 1 (45ns), so the first
+	// delivers at 145ns and the second at 245ns.
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 160})
+	n.Send(&Packet{Src: 4, Dst: 1, Size: 160})
+	eng.Run()
+
+	var pkts []trace.Event
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindNoCPacket {
+			pkts = append(pkts, ev)
+		}
+	}
+	if len(pkts) != 2 {
+		t.Fatalf("got %d NoCPacket events, want 2", len(pkts))
+	}
+	ns := int64(sim.Nanosecond)
+	for i, want := range []struct{ at, dur int64 }{{0, 145 * ns}, {0, 245 * ns}} {
+		if pkts[i].At != want.at {
+			t.Errorf("packet %d stamped at %d, want transmit time %d (not the dequeue edge)",
+				i, pkts[i].At, want.at)
+		}
+		if pkts[i].Dur != want.dur {
+			t.Errorf("packet %d duration %d, want %d so At+Dur is the delivery edge",
+				i, pkts[i].Dur, want.dur)
+		}
+	}
 }

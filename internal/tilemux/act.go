@@ -63,6 +63,10 @@ type Act struct {
 	// activity is not current (paper §3.7).
 	msgs    int
 	wantMsg bool // blocked in WaitForMsg
+	// wakeFlow is the trace flow of the first message that arrived while
+	// this activity was off-core; the next switch to it is attributed to
+	// that flow as a tilemux.wakeup span (0 = none pending/untraced).
+	wakeFlow uint64
 	// ext counts pending external events (tile-local device interrupts,
 	// paper §4.2: "Activities can use TileMux to wait for events such as
 	// received messages and hardware interrupts of tile-local devices").

@@ -295,6 +295,13 @@ func (m *Mux) switchTo(p *sim.Proc, next *Act, reason trace.SwitchReason) {
 	dur := int64(m.eng.Now() - start)
 	m.hSwitchTime.Observe(dur)
 	m.rec.CtxSwitch(int64(start), dur, int(m.d.Tile()), int64(old), int64(nid), reason)
+	if next != nil && next.wakeFlow != 0 {
+		// This switch brings the recipient of a traced message onto the
+		// core: attribute it to that message's flow.
+		m.rec.EmitSpan(next.wakeFlow, 0, trace.SpanMuxWakeup, int64(start), int64(m.eng.Now()),
+			int(m.d.Tile()), trace.CompTileMux, trace.PathNone, int64(old), int64(nid))
+		next.wakeFlow = 0
+	}
 	oldMsgs += m.curExtra
 	m.curExtra = 0
 	if oa := m.acts[old]; oa != nil {
@@ -376,7 +383,7 @@ func (m *Mux) asMux(p *sim.Proc, fn func()) {
 // own rgates (handled by the caller's fetch loops).
 func (m *Mux) drainCoreReqs(p *sim.Proc, curID dtu.ActID, curMsgs *int) {
 	for {
-		act, ok := m.d.FetchCoreReq(p)
+		act, flow, ok := m.d.FetchCoreReq(p)
 		if !ok {
 			return
 		}
@@ -389,6 +396,11 @@ func (m *Mux) drainCoreReqs(p *sim.Proc, curID dtu.ActID, curMsgs *int) {
 		default:
 			if a := m.acts[act]; a != nil {
 				a.msgs++
+				if a.wakeFlow == 0 {
+					// The first pending message's flow claims the next
+					// switch to this activity as its wakeup.
+					a.wakeFlow = flow
+				}
 				if a.state == actBlocked && a.wantMsg {
 					m.makeReady(a)
 				}

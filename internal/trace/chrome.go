@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // This file exports recorded event streams in the Chrome trace-event JSON
@@ -22,6 +23,8 @@ type chromeEvent struct {
 	Pid  int                    `json:"pid"`
 	Tid  int                    `json:"tid"`
 	S    string                 `json:"s,omitempty"`
+	ID   string                 `json:"id,omitempty"` // flow-event binding id
+	BP   string                 `json:"bp,omitempty"` // flow binding point
 	Args map[string]interface{} `json:"args,omitempty"`
 }
 
@@ -102,10 +105,101 @@ func writeChrome(w io.Writer, recs []*Recorder, pidStride int) error {
 			}
 			out.TraceEvents = append(out.TraceEvents, ce)
 		}
+		writeChromeSpans(&out, r, ri, pidStride, name)
 	}
 	out.DisplayTimeUnit = "ns"
 	enc := json.NewEncoder(w)
 	return enc.Encode(&out)
+}
+
+// spanLaneName names the per-component span lane (below the event lanes).
+type spanLane struct{ pid, tid int }
+
+// writeChromeSpans renders the recorder's causal spans as duration slices on
+// dedicated per-component lanes, then stitches each flow's spans together
+// with Perfetto flow events ("s"/"t"/"f") so the UI draws connected arrows
+// from the sending DTU across the NoC to the receiving tile.
+func writeChromeSpans(out *chromeFile, r *Recorder, ri, pidStride int,
+	name func(pid, tid, ri int, comp Component)) {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	// Slices must have nonzero duration for flow arrows to bind; clamp
+	// instant spans to 1 ns.
+	const minDur = 0.001 // µs
+	laneSeen := make(map[spanLane]bool)
+	type anchor struct{ pid, tid int }
+	anchors := make([]anchor, len(spans))
+	byFlow := make(map[uint64][]int)
+	var flowOrder []uint64
+	for i := range spans {
+		s := &spans[i]
+		pid := ri*pidStride + int(s.Tile)
+		// Span lanes sit after the component event lanes (tid 0 is
+		// metadata, 1..numComponents are event lanes).
+		tid := 1 + int(numComponents) + int(s.Comp)
+		anchors[i] = anchor{pid, tid}
+		name(pid, 1+int(s.Comp), ri, s.Comp) // ensure the process is named
+		l := spanLane{pid, tid}
+		if !laneSeen[l] {
+			laneSeen[l] = true
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]interface{}{"name": s.Comp.String() + " flows"}})
+		}
+		dur := usOf(s.Dur())
+		if dur < minDur {
+			dur = minDur
+		}
+		args := map[string]interface{}{
+			"flow": s.Flow, "arg0": s.Arg0, "arg1": s.Arg1,
+		}
+		if s.Path != PathNone {
+			args["path"] = s.Path.String()
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name.String(), Cat: "span", Ph: "X",
+			Ts: usOf(s.At), Dur: dur, Pid: pid, Tid: tid, Args: args,
+		})
+		if len(byFlow[s.Flow]) == 0 {
+			flowOrder = append(flowOrder, s.Flow)
+		}
+		byFlow[s.Flow] = append(byFlow[s.Flow], i)
+	}
+	// Flow arrows: one step per span, in causal (start-time) order. The
+	// first step is "s" (start), intermediates "t" (step), the last "f"
+	// (finish); bp "e" binds each step to the slice enclosing its
+	// timestamp. Flow ids are namespaced per run so merged traces don't
+	// cross-link.
+	for _, flow := range flowOrder {
+		idxs := byFlow[flow]
+		if len(idxs) < 2 {
+			continue // a single-span flow has no arrow to draw
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return spans[idxs[a]].At < spans[idxs[b]].At
+		})
+		id := fmt.Sprintf("%d.%d", ri, flow)
+		for step, i := range idxs {
+			s := &spans[i]
+			ce := chromeEvent{
+				Name: "flow", Cat: "flow", Ts: usOf(s.At),
+				Pid: anchors[i].pid, Tid: anchors[i].tid, ID: id,
+			}
+			switch step {
+			case 0:
+				ce.Ph = "s"
+			case len(idxs) - 1:
+				ce.Ph = "f"
+				ce.BP = "e"
+			default:
+				ce.Ph = "t"
+				ce.BP = "e"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
 }
 
 // chromeArgs decodes an event's Arg fields into named values for the

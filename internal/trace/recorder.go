@@ -15,9 +15,11 @@ import (
 // A Recorder is not safe for concurrent use; the simulation engine's strict
 // one-at-a-time hand-off provides the necessary serialization.
 type Recorder struct {
-	enabled bool
-	events  []Event
-	metrics *Metrics
+	enabled  bool
+	events   []Event
+	spans    []Span
+	nextFlow uint64
+	metrics  *Metrics
 }
 
 // NewRecorder returns a recorder with an empty metrics registry and the
@@ -59,10 +61,12 @@ func (r *Recorder) Events() []Event {
 	return r.events
 }
 
-// Reset drops all recorded events (metrics are untouched).
+// Reset drops all recorded events and spans (metrics and the flow-ID
+// sequence are untouched). Outstanding SpanRefs are invalidated.
 func (r *Recorder) Reset() {
 	if r != nil {
 		r.events = r.events[:0]
+		r.spans = r.spans[:0]
 	}
 }
 
@@ -162,10 +166,12 @@ func (r *Recorder) Irq(at int64, tile int, pending int64) {
 	})
 }
 
-// NoCPacket records one delivery attempt at the destination tile.
+// NoCPacket records one delivery attempt at the destination tile. The event
+// is stamped at the attempt's transmit (enqueue) time with the wire time as
+// its duration, so At+Dur is the dequeue edge.
 //
 //m3v:noalloc
-func (r *Recorder) NoCPacket(at int64, src, dst int, size int64, delivered bool) {
+func (r *Recorder) NoCPacket(at, dur int64, src, dst int, size int64, delivered bool) {
 	if r == nil || !r.enabled {
 		return
 	}
@@ -175,7 +181,7 @@ func (r *Recorder) NoCPacket(at int64, src, dst int, size int64, delivered bool)
 	}
 	//m3vlint:ignore noalloc enabled-path event buffer grows amortized; the disabled fast path above allocates nothing
 	r.events = append(r.events, Event{
-		At: at, Tile: int32(dst), Comp: CompNoC, Kind: KindNoCPacket,
+		At: at, Dur: dur, Tile: int32(dst), Comp: CompNoC, Kind: KindNoCPacket,
 		Arg0: int64(src), Arg1: int64(dst), Arg2: size, Arg3: ok,
 	})
 }

@@ -37,7 +37,7 @@ func TestNilRecorderSafe(t *testing.T) {
 	r.PageFault(0, 0, 0, 0, 0)
 	r.Syscall(0, 0, 0, 0, 0)
 	r.Irq(0, 0, 0)
-	r.NoCPacket(0, 0, 0, 0, true)
+	r.NoCPacket(0, 0, 0, 0, 0, true)
 	r.ActExit(0, 0, 0, 0)
 	r.Reset()
 	if r.Enabled() || len(r.Events()) != 0 {
@@ -53,7 +53,7 @@ func TestDisabledEmitNoAlloc(t *testing.T) {
 		r.DTUCmd(123, 456, 3, CmdReply, 7, 128, 0)
 		r.CtxSwitch(123, 456, 3, 1, 2, SwitchPreempt)
 		r.TLB(123, 3, KindTLBHit, 1, 0xdeadb000)
-		r.NoCPacket(123, 1, 2, 80, true)
+		r.NoCPacket(123, 40, 1, 2, 80, true)
 	}); avg != 0 {
 		t.Fatalf("disabled emit allocates %.1f objects per event batch, want 0", avg)
 	}
@@ -171,7 +171,7 @@ func TestWriteChromeValidJSON(t *testing.T) {
 	r.TLB(3000, 2, KindTLBMiss, 1, 0x10000)
 	r.PageFault(3100, 2, 1, 0x10000, 1)
 	r.Syscall(4000, 800, 0, 2, 1)
-	r.NoCPacket(4100, 2, 0, 80, false)
+	r.NoCPacket(4100, 60, 2, 0, 80, false)
 	r.ActExit(5000, 0, 1, 0)
 	var buf bytes.Buffer
 	if err := r.WriteChrome(&buf); err != nil {
