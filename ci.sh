@@ -25,7 +25,7 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== fuzz seeds =="
-go test -run '^Fuzz' ./internal/sim
+go test -run '^Fuzz' ./internal/sim ./internal/noc ./internal/dtu
 
 echo "== parallel sweep runner under race =="
 # The full race pass above already covers the heavy equivalence tests; this
@@ -58,6 +58,23 @@ go run ./cmd/m3vtrace -check "$TRACE_TMP/fig9.json"
 go run ./cmd/m3vtrace "$TRACE_TMP/fig9.json" | grep -Eq '[1-9][0-9]* slow,'
 go run ./cmd/m3vtrace "$TRACE_TMP/fig9.json" | grep -q 'kernel.forward'
 
+echo "== chaos smoke =="
+# Deterministic fault injection gate: two chaos runs with the same seed
+# must print identical trace hashes (see DESIGN.md section 9), and the
+# fault package must report test coverage.
+go run ./cmd/m3vsim -rounds 10 -fault-seed 42 -fault-rate 0.05 -trace-hash \
+    > "$TRACE_TMP/chaos1.txt"
+go run ./cmd/m3vsim -rounds 10 -fault-seed 42 -fault-rate 0.05 -trace-hash \
+    > "$TRACE_TMP/chaos2.txt"
+CH1="$(grep 'trace-hash:' "$TRACE_TMP/chaos1.txt")"
+CH2="$(grep 'trace-hash:' "$TRACE_TMP/chaos2.txt")"
+test -n "$CH1"
+test "$CH1" = "$CH2"
+grep -q 'faults:   seed 42' "$TRACE_TMP/chaos1.txt"
+go test -cover ./internal/fault/... > "$TRACE_TMP/faultcov.txt"
+cat "$TRACE_TMP/faultcov.txt"
+grep -q 'coverage:' "$TRACE_TMP/faultcov.txt"
+
 echo "== bench json =="
 # Record the perf trajectory: wall clock per experiment plus the
 # serial-vs-parallel comparison, which also gates on byte-identical tables.
@@ -67,6 +84,8 @@ go run ./cmd/m3vbench -run fig9 -fig9-tiles 1,2 -compare-serial \
 if [ -n "${FUZZTIME:-}" ]; then
     echo "== fuzzing (${FUZZTIME}) =="
     go test -fuzz FuzzEngineOrdering -fuzztime "$FUZZTIME" ./internal/sim
+    go test -fuzz FuzzNoCArbitration -fuzztime "$FUZZTIME" ./internal/noc
+    go test -fuzz FuzzDTUCommands -fuzztime "$FUZZTIME" ./internal/dtu
 fi
 
 echo "CI gate passed."

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -20,6 +21,8 @@ import (
 	"time"
 
 	"m3v/internal/bench"
+	"m3v/internal/core"
+	"m3v/internal/fault"
 	"m3v/internal/trace"
 )
 
@@ -78,55 +81,118 @@ func fail(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
-func main() {
-	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
-	list := flag.Bool("list", false, "list experiment ids")
-	traceFile := flag.String("trace", "", "write a merged Chrome trace-event JSON file of all simulated runs")
-	flowsFile := flag.String("flows", "", "write the causal span streams of all runs as m3vflows JSON (analyze with m3vtrace)")
-	metrics := flag.Bool("metrics", false, "print the metrics registry of each simulated run")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent sweep points (1 = serial)")
-	benchJSON := flag.String("bench-json", "", "write wall-clock and simulated metrics to this JSON file")
-	compareSerial := flag.Bool("compare-serial", false, "run each experiment twice (parallel and -parallel 1), assert byte-identical tables, and record the speedup")
-	fig9Tiles := flag.String("fig9-tiles", "", "override the fig9 tile-count series, e.g. 1,2,4 (smoke runs)")
-	flag.Parse()
+// options are the parsed command-line settings.
+type options struct {
+	run           string
+	list          bool
+	traceFile     string
+	flowsFile     string
+	metrics       bool
+	parallel      int
+	benchJSON     string
+	compareSerial bool
+	fig9Series    []int
+	faultSeed     uint64
+	faultRate     float64
+}
 
-	if *list {
-		for _, id := range order {
-			fmt.Println(id)
+// parseOptions parses the command line. Split from main for CLI tests.
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("m3vbench", flag.ContinueOnError)
+	fs.StringVar(&o.run, "run", "", "comma-separated experiment ids (default: all)")
+	fs.BoolVar(&o.list, "list", false, "list experiment ids")
+	fs.StringVar(&o.traceFile, "trace", "", "write a merged Chrome trace-event JSON file of all simulated runs")
+	fs.StringVar(&o.flowsFile, "flows", "", "write the causal span streams of all runs as m3vflows JSON (analyze with m3vtrace)")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics registry of each simulated run")
+	fs.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "worker count for independent sweep points (1 = serial)")
+	fs.StringVar(&o.benchJSON, "bench-json", "", "write wall-clock and simulated metrics to this JSON file")
+	fs.BoolVar(&o.compareSerial, "compare-serial", false, "run each experiment twice (parallel and -parallel 1), assert byte-identical tables, and record the speedup")
+	fig9Tiles := fs.String("fig9-tiles", "", "override the fig9 tile-count series, e.g. 1,2,4 (smoke runs)")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "uniform fault-injection rate in [0,1] applied to every simulated system (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.parallel < 1 {
+		return nil, fmt.Errorf("-parallel must be >= 1, got %d", o.parallel)
+	}
+	if o.faultRate < 0 || o.faultRate > 1 {
+		return nil, fmt.Errorf("-fault-rate must be in [0,1], got %g", o.faultRate)
+	}
+	if *fig9Tiles != "" {
+		series, err := parseTiles(*fig9Tiles)
+		if err != nil {
+			return nil, err
 		}
+		o.fig9Series = series
+	}
+	return o, nil
+}
+
+// parseTiles parses a -fig9-tiles series like "1,2,4".
+func parseTiles(s string) ([]int, error) {
+	var tiles []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -fig9-tiles entry %q", part)
+		}
+		tiles = append(tiles, n)
+	}
+	return tiles, nil
+}
+
+// listExperiments prints the experiment ids in run order.
+func listExperiments(out io.Writer) {
+	for _, id := range order {
+		fmt.Fprintln(out, id)
+	}
+}
+
+func main() {
+	o, err := parseOptions(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fail("%v", err)
+	}
+	if o.list {
+		listExperiments(os.Stdout)
 		return
 	}
-	bench.SetParallelism(*parallel)
-	if *fig9Tiles != "" {
-		var tiles []int
-		for _, s := range strings.Split(*fig9Tiles, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				fail("bad -fig9-tiles entry %q", s)
-			}
-			tiles = append(tiles, n)
-		}
-		bench.Fig9Tiles = tiles
+	bench.SetParallelism(o.parallel)
+	if o.fig9Series != nil {
+		bench.Fig9Tiles = o.fig9Series
+	}
+	if o.faultRate > 0 {
+		// Experiments build their Systems internally with per-experiment
+		// configs; the process-wide default reaches all of them.
+		core.SetDefaultFault(fault.Uniform(o.faultSeed, o.faultRate))
 	}
 	// Experiments build their Systems internally; collect every recorder
 	// created while they run via the global auto-register hook. Under
 	// -parallel the registration order follows run completion, so merged
 	// traces are ordered by (run, timestamp) with run indices assigned in
 	// completion order rather than table order.
-	if *traceFile != "" || *flowsFile != "" || *metrics {
-		trace.SetAutoRegister(true, *traceFile != "" || *flowsFile != "")
+	if o.traceFile != "" || o.flowsFile != "" || o.metrics {
+		trace.SetAutoRegister(true, o.traceFile != "" || o.flowsFile != "")
 		defer trace.SetAutoRegister(false, false)
 	}
 	ids := order
-	if *run != "" {
-		ids = strings.Split(*run, ",")
+	if o.run != "" {
+		ids = strings.Split(o.run, ",")
 	}
 	report := benchReport{
 		Schema:    "m3vbench/v1",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
-		Parallel:  *parallel,
+		Parallel:  o.parallel,
 	}
 	t0 := time.Now()
 	for _, id := range ids {
@@ -147,12 +213,12 @@ func main() {
 		for _, m := range r.Rows {
 			exp.Rows = append(exp.Rows, benchRow{Label: m.Label, Value: m.Value, Unit: m.Unit, Paper: m.Paper})
 		}
-		if *compareSerial {
+		if o.compareSerial {
 			bench.SetParallelism(1)
 			serialStart := time.Now()
 			sr := fn()
 			serialWall := time.Since(serialStart)
-			bench.SetParallelism(*parallel)
+			bench.SetParallelism(o.parallel)
 			identical := sr.String() == r.String()
 			exp.SerialWallMs = float64(serialWall.Microseconds()) / 1000
 			if wall > 0 {
@@ -170,8 +236,8 @@ func main() {
 	report.TotalWallMs = float64(time.Since(t0).Microseconds()) / 1000
 
 	recs := trace.Registered()
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			fail("trace: %v", err)
 		}
@@ -185,10 +251,10 @@ func main() {
 		for _, r := range recs {
 			total += len(r.Events())
 		}
-		fmt.Printf("trace: %d events from %d runs -> %s\n", total, len(recs), *traceFile)
+		fmt.Printf("trace: %d events from %d runs -> %s\n", total, len(recs), o.traceFile)
 	}
-	if *flowsFile != "" {
-		f, err := os.Create(*flowsFile)
+	if o.flowsFile != "" {
+		f, err := os.Create(o.flowsFile)
 		if err != nil {
 			fail("flows: %v", err)
 		}
@@ -202,23 +268,23 @@ func main() {
 		for _, r := range recs {
 			total += len(r.Spans())
 		}
-		fmt.Printf("flows: %d spans from %d runs -> %s\n", total, len(recs), *flowsFile)
+		fmt.Printf("flows: %d spans from %d runs -> %s\n", total, len(recs), o.flowsFile)
 	}
-	if *metrics {
+	if o.metrics {
 		for i, r := range recs {
 			fmt.Printf("--- run %d ---\n%s", i, r.Metrics().Summary())
 		}
 	}
-	if *benchJSON != "" {
+	if o.benchJSON != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fail("bench-json: %v", err)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+		if err := os.WriteFile(o.benchJSON, data, 0o644); err != nil {
 			fail("bench-json: %v", err)
 		}
 		fmt.Printf("bench-json: %d experiments, %.0fms total -> %s\n",
-			len(report.Experiments), report.TotalWallMs, *benchJSON)
+			len(report.Experiments), report.TotalWallMs, o.benchJSON)
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParseOptionsDefaults pins the default option values.
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil)
+	if err != nil {
+		t.Fatalf("parseOptions(nil): %v", err)
+	}
+	if o.run != "" || o.list || o.parallel != runtime.NumCPU() {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.fig9Series != nil {
+		t.Errorf("fig9Series default = %v, want nil", o.fig9Series)
+	}
+	if o.faultSeed != 1 || o.faultRate != 0 {
+		t.Errorf("fault defaults = seed %d rate %g, want 1/0", o.faultSeed, o.faultRate)
+	}
+}
+
+// TestParseOptionsErrors covers the validation paths.
+func TestParseOptionsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional", []string{"fig6"}, "unexpected arguments"},
+		{"bad parallel", []string{"-parallel", "0"}, "-parallel must be >= 1"},
+		{"bad rate", []string{"-fault-rate", "2"}, "-fault-rate must be in [0,1]"},
+		{"bad tiles", []string{"-fig9-tiles", "1,x"}, "bad -fig9-tiles entry"},
+		{"zero tile", []string{"-fig9-tiles", "0"}, "bad -fig9-tiles entry"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := parseOptions(c.args); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("parseOptions(%v) err = %v, want containing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseOptionsFig9Tiles checks the tile-series override parsing.
+func TestParseOptionsFig9Tiles(t *testing.T) {
+	o, err := parseOptions([]string{"-fig9-tiles", "1, 2,4", "-run", "fig9", "-fault-rate", "0.1", "-fault-seed", "7"})
+	if err != nil {
+		t.Fatalf("parseOptions: %v", err)
+	}
+	if !reflect.DeepEqual(o.fig9Series, []int{1, 2, 4}) {
+		t.Errorf("fig9Series = %v, want [1 2 4]", o.fig9Series)
+	}
+	if o.run != "fig9" || o.faultRate != 0.1 || o.faultSeed != 7 {
+		t.Errorf("options = %+v", o)
+	}
+}
+
+// TestListExperiments checks the -list output covers every experiment in
+// run order.
+func TestListExperiments(t *testing.T) {
+	var out strings.Builder
+	listExperiments(&out)
+	lines := strings.Fields(out.String())
+	if !reflect.DeepEqual(lines, order) {
+		t.Errorf("-list = %v, want %v", lines, order)
+	}
+	for _, id := range lines {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("listed experiment %q has no driver", id)
+		}
+	}
+}

@@ -3,15 +3,18 @@
 // dumps platform statistics — a smoke test for the whole stack.
 //
 //	m3vsim -rounds 100 -shared -trace out.json -metrics
+//	m3vsim -rounds 10 -fault-seed 42 -fault-rate 0.05 -trace-hash
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"m3v"
+	"m3v/internal/fault"
 	"m3v/internal/trace"
 )
 
@@ -21,21 +24,50 @@ type share struct {
 }
 
 func main() {
-	rounds := flag.Int("rounds", 50, "number of RPC rounds")
-	shared := flag.Bool("shared", false, "co-locate client and server on one tile")
-	gem5 := flag.Bool("gem5", false, "use the 3 GHz gem5-style platform instead of the FPGA layout")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
-	flowsFile := flag.String("flows", "", "write the causal span streams as m3vflows JSON (analyze with m3vtrace)")
-	metrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "m3vsim: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one simulation per the given command-line arguments, writing
+// the report to out. Split from main for CLI tests.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("m3vsim", flag.ContinueOnError)
+	rounds := fs.Int("rounds", 50, "number of RPC rounds")
+	shared := fs.Bool("shared", false, "co-locate client and server on one tile")
+	gem5 := fs.Bool("gem5", false, "use the 3 GHz gem5-style platform instead of the FPGA layout")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+	flowsFile := fs.String("flows", "", "write the causal span streams as m3vflows JSON (analyze with m3vtrace)")
+	metrics := fs.Bool("metrics", false, "print the metrics registry summary after the run")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
+	faultRate := fs.Float64("fault-rate", 0, "uniform fault-injection rate in [0,1] (0 disables injection)")
+	traceHash := fs.Bool("trace-hash", false, "enable tracing and print the run's event and span hashes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("-rounds must be >= 1, got %d", *rounds)
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		return fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate)
+	}
 
 	cfg := m3v.FPGA()
 	if *gem5 {
 		cfg = m3v.Gem5(4)
 	}
+	if *faultRate > 0 {
+		cfg.Fault = fault.Uniform(*faultSeed, *faultRate)
+	}
 	sys := m3v.NewSystem(cfg)
 	defer sys.Shutdown()
-	if *traceFile != "" || *flowsFile != "" {
+	if *traceFile != "" || *flowsFile != "" || *traceHash {
 		sys.Eng.Tracer().Enable()
 	}
 	procs := sys.Cfg.ProcessingTiles()
@@ -78,49 +110,58 @@ func main() {
 	if *shared {
 		mode = "local (core requests + TileMux switches)"
 	}
-	fmt.Printf("platform: %s, %d processing tiles\n", sys.Cfg.Name, len(procs))
-	fmt.Printf("mode:     %s\n", mode)
-	fmt.Printf("rounds:   %d no-op RPCs\n", *rounds)
-	fmt.Printf("per RPC:  %v\n", perRPC)
-	fmt.Printf("sim time: %v\n", end)
-	fmt.Printf("kernel syscalls: %d\n", sys.Kern.Syscalls())
+	fmt.Fprintf(out, "platform: %s, %d processing tiles\n", sys.Cfg.Name, len(procs))
+	fmt.Fprintf(out, "mode:     %s\n", mode)
+	fmt.Fprintf(out, "rounds:   %d no-op RPCs\n", *rounds)
+	fmt.Fprintf(out, "per RPC:  %v\n", perRPC)
+	fmt.Fprintf(out, "sim time: %v\n", end)
+	fmt.Fprintf(out, "kernel syscalls: %d\n", sys.Kern.Syscalls())
 	for _, tile := range procs {
 		if mux := sys.Muxes[tile]; mux != nil && mux.CtxSwitches() > 0 {
-			fmt.Printf("tile %d: %d context switches, %d interrupts\n",
+			fmt.Fprintf(out, "tile %d: %d context switches, %d interrupts\n",
 				tile, mux.CtxSwitches(), mux.Irqs())
 		}
 	}
+	if in := sys.Fault; in != nil {
+		fmt.Fprintf(out, "faults:   seed %d rate %g: %d drops, %d delays, %d dups, %d cmd fails, %d retries, %d giveups, %d stalls\n",
+			*faultSeed, *faultRate, in.NoCDrops(), in.NoCDelays(), in.NoCDups(),
+			in.CmdFails(), in.CmdRetries(), in.CmdGiveups(), in.MuxStalls())
+	}
 	rec := sys.Eng.Tracer()
+	if *traceHash {
+		fmt.Fprintf(out, "trace-hash: %#x span-hash: %#x\n", rec.Hash(), rec.SpanHash())
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			log.Fatalf("trace: %v", err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		if err := rec.WriteChrome(f); err != nil {
-			log.Fatalf("trace: %v", err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("trace: %v", err)
+			return fmt.Errorf("trace: %w", err)
 		}
-		fmt.Printf("trace:    %d events -> %s\n", len(rec.Events()), *traceFile)
+		fmt.Fprintf(out, "trace:    %d events -> %s\n", len(rec.Events()), *traceFile)
 	}
 	if *flowsFile != "" {
 		f, err := os.Create(*flowsFile)
 		if err != nil {
-			log.Fatalf("flows: %v", err)
+			return fmt.Errorf("flows: %w", err)
 		}
 		if err := trace.WriteFlows(f, []*trace.Recorder{rec}); err != nil {
-			log.Fatalf("flows: %v", err)
+			return fmt.Errorf("flows: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("flows: %v", err)
+			return fmt.Errorf("flows: %w", err)
 		}
-		fmt.Printf("flows:    %d spans -> %s\n", len(rec.Spans()), *flowsFile)
+		fmt.Fprintf(out, "flows:    %d spans -> %s\n", len(rec.Spans()), *flowsFile)
 	}
 	if *metrics {
-		fmt.Println()
-		fmt.Print(rec.Summary())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rec.Summary())
 	}
+	return nil
 }
 
 func server(a *m3v.Activity) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation covers the argument errors of the CLI entry point.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional", []string{"extra"}, "unexpected arguments"},
+		{"zero rounds", []string{"-rounds", "0"}, "-rounds must be >= 1"},
+		{"negative rate", []string{"-fault-rate", "-0.1"}, "-fault-rate must be in [0,1]"},
+		{"rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate must be in [0,1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(c.args, &out)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("run(%v) err = %v, want containing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunSmoke runs a small fault-free simulation and checks the report.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rounds", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"platform: fpga",
+		"rounds:   5 no-op RPCs",
+		"kernel syscalls:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "faults:") {
+		t.Errorf("fault summary printed without injection:\n%s", got)
+	}
+}
+
+// TestRunChaosDeterminism runs the chaos smoke twice with the same seed and
+// checks that the printed hashes are present and identical, and that the
+// fault summary line appears.
+func TestRunChaosDeterminism(t *testing.T) {
+	runOnce := func() string {
+		var out strings.Builder
+		if err := run([]string{"-rounds", "5", "-fault-seed", "42", "-fault-rate", "0.05", "-trace-hash"}, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	a, b := runOnce(), runOnce()
+
+	hashLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "trace-hash:") {
+				return line
+			}
+		}
+		t.Fatalf("no trace-hash line in output:\n%s", s)
+		return ""
+	}
+	ha, hb := hashLine(a), hashLine(b)
+	if ha != hb {
+		t.Errorf("same seed, different hashes:\n%s\n%s", ha, hb)
+	}
+	if !strings.Contains(ha, "span-hash: 0x") {
+		t.Errorf("hash line malformed: %s", ha)
+	}
+	if !strings.Contains(a, "faults:   seed 42 rate 0.05:") {
+		t.Errorf("fault summary missing:\n%s", a)
+	}
+}

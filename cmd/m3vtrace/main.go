@@ -13,72 +13,83 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"m3v/internal/trace"
 )
 
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "m3vtrace: "+format+"\n", args...)
-	os.Exit(1)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	check := flag.Bool("check", false, "verify span-stream well-formedness; exit non-zero on problems")
-	perfetto := flag.String("perfetto", "", "also write a Chrome trace-event JSON file with flow arrows")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: m3vtrace [-check] [-perfetto out.json] flows.json\n")
-		flag.PrintDefaults()
+// run executes the tool and returns its exit code. Split from main for CLI
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "m3vtrace: "+format+"\n", a...)
+		return 1
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	fs := flag.NewFlagSet("m3vtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "verify span-stream well-formedness; exit non-zero on problems")
+	perfetto := fs.String("perfetto", "", "also write a Chrome trace-event JSON file with flow arrows")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: m3vtrace [-check] [-perfetto out.json] flows.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fail("%v", err)
+		return fail("%v", err)
 	}
 	flows, err := trace.ReadFlows(f)
 	f.Close()
 	if err != nil {
-		fail("%v", err)
+		return fail("%v", err)
 	}
 
 	problems := trace.CheckFlows(flows)
 	if *check {
 		if len(problems) > 0 {
 			for _, p := range problems {
-				fmt.Fprintf(os.Stderr, "m3vtrace: %s\n", p)
+				fmt.Fprintf(stderr, "m3vtrace: %s\n", p)
 			}
-			fail("%d problem(s) found", len(problems))
+			return fail("%d problem(s) found", len(problems))
 		}
 		total := 0
 		for _, run := range flows.Runs {
 			total += len(run.Spans)
 		}
-		fmt.Printf("ok: %d spans in %d runs, all streams well-formed\n", total, len(flows.Runs))
-		return
+		fmt.Fprintf(stdout, "ok: %d spans in %d runs, all streams well-formed\n", total, len(flows.Runs))
+		return 0
 	}
 	// In report mode still surface problems, but don't fail the run.
 	for _, p := range problems {
-		fmt.Fprintf(os.Stderr, "m3vtrace: warning: %s\n", p)
+		fmt.Fprintf(stderr, "m3vtrace: warning: %s\n", p)
 	}
 
 	if *perfetto != "" {
 		out, err := os.Create(*perfetto)
 		if err != nil {
-			fail("%v", err)
+			return fail("%v", err)
 		}
 		if err := trace.WriteFlowsChrome(out, flows); err != nil {
-			fail("perfetto: %v", err)
+			return fail("perfetto: %v", err)
 		}
 		if err := out.Close(); err != nil {
-			fail("perfetto: %v", err)
+			return fail("perfetto: %v", err)
 		}
-		fmt.Printf("perfetto: %s\n", *perfetto)
+		fmt.Fprintf(stdout, "perfetto: %s\n", *perfetto)
 	}
 
-	fmt.Print(trace.AnalyzeFlows(flows).Format())
+	fmt.Fprint(stdout, trace.AnalyzeFlows(flows).Format())
+	return 0
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"m3v/internal/dtu"
+	"m3v/internal/fault"
 	"m3v/internal/mem"
 	"m3v/internal/noc"
 	"m3v/internal/sim"
@@ -41,7 +42,21 @@ type Config struct {
 	// BaselineM3x builds the M³x baseline instead of M³v: plain DTUs with
 	// RCTMux on the tiles and remote multiplexing in the controller.
 	BaselineM3x bool
+	// Fault selects deterministic fault injection (see internal/fault).
+	// The zero value — or any config with all rates zero — builds the
+	// perfect platform; when it is zero, the process-wide default set via
+	// SetDefaultFault applies (used by the benchmark harness's CLI flags,
+	// which cannot reach into per-experiment configs).
+	Fault fault.Config
 }
+
+// defaultFault is the process-wide fault config applied to systems whose
+// own Config.Fault is disabled. Set once at CLI startup, before any system
+// is built.
+var defaultFault fault.Config
+
+// SetDefaultFault installs the process-wide default fault config.
+func SetDefaultFault(fc fault.Config) { defaultFault = fc }
 
 // WithM3x returns a copy of the config that builds the M³x baseline.
 func (c Config) WithM3x() Config {

@@ -6,6 +6,7 @@ import (
 	"m3v/internal/activity"
 	"m3v/internal/cap"
 	"m3v/internal/dtu"
+	"m3v/internal/fault"
 	"m3v/internal/kernel"
 	"m3v/internal/m3x"
 	"m3v/internal/mem"
@@ -36,6 +37,11 @@ type System struct {
 	Tiles []*Tile
 	Kern  *kernel.Kernel
 	Muxes map[noc.TileID]*tilemux.Mux
+
+	// Fault is the system's fault injector, nil when injection is disabled
+	// (the default): a nil injector leaves every component's behavior
+	// bit-for-bit identical to a build without fault support.
+	Fault *fault.Injector
 
 	// M³x baseline state (nil on M³v systems).
 	RCTs   map[noc.TileID]*m3x.RCTMux
@@ -135,6 +141,29 @@ func New(cfg Config) *System {
 			panic(err)
 		}
 		mustEp(t.DTU.ConfigureLocal(0, dtu.MemEP(dtu.ActTileMux, mt, off, tileMuxDRAM, dtu.PermRW)))
+	}
+
+	// Fault injection: one injector per system, attached to every component
+	// with an injection point. Built only when a nonzero rate is configured,
+	// so fault-free systems carry no injector, no fault.* counters, and no
+	// behavioral difference. Muxes are visited via the deterministic
+	// ProcessingTiles order, not the map.
+	fc := cfg.Fault
+	if !fc.Enabled() {
+		fc = defaultFault
+	}
+	if fc.Enabled() {
+		inj := fault.New(eng, fc)
+		s.Fault = inj
+		net.SetInjector(inj)
+		for _, t := range s.Tiles {
+			t.DTU.SetInjector(inj)
+		}
+		for _, id := range cfg.ProcessingTiles() {
+			if m := s.Muxes[id]; m != nil {
+				m.SetInjector(inj)
+			}
+		}
 	}
 
 	s.Kern.OnActExit = func(id uint32, code int32) {

@@ -1,6 +1,8 @@
 package dtu
 
 import (
+	"errors"
+
 	"m3v/internal/noc"
 	"m3v/internal/sim"
 	"m3v/internal/trace"
@@ -39,6 +41,9 @@ func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 	d.curFlow = flow
 	d.curSpan = d.rec.BeginSpan(flow, 0, trace.SpanDTUSend, int64(start), int(d.tile), trace.CompDTU)
 	err := d.send(p, a, flow)
+	for attempt := 0; d.retryTransient(p, err, flow, attempt); attempt++ {
+		err = d.send(p, a, flow)
+	}
 	d.rec.EndSpanArgs(d.curSpan, int64(d.eng.Now()), trace.PathNone, int64(a.Ep), errCode(err))
 	d.curFlow, d.curSpan = 0, 0
 	d.lastFlow = flow
@@ -48,6 +53,9 @@ func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 
 func (d *DTU) send(p *sim.Proc, a SendArgs, flow uint64) error {
 	d.charge(p, d.costs.SendCmd)
+	if d.inj.FailCmd(flow, int(d.tile), 0) {
+		return ErrXferTimeout
+	}
 	e, err := d.epFor(a.Ep, EpSend)
 	if err != nil {
 		return err
@@ -96,6 +104,9 @@ func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) e
 	d.curFlow = flow
 	d.curSpan = d.rec.BeginSpan(flow, 0, trace.SpanDTUReply, int64(start), int(d.tile), trace.CompDTU)
 	err := d.reply(p, ep, slot, data, vaddr, flow)
+	for attempt := 0; d.retryTransient(p, err, flow, attempt); attempt++ {
+		err = d.reply(p, ep, slot, data, vaddr, flow)
+	}
 	d.rec.EndSpanArgs(d.curSpan, int64(d.eng.Now()), trace.PathNone, int64(ep), errCode(err))
 	d.curFlow, d.curSpan = 0, 0
 	d.lastFlow = flow
@@ -105,6 +116,9 @@ func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) e
 
 func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64, flow uint64) error {
 	d.charge(p, d.costs.ReplyCmd)
+	if d.inj.FailCmd(flow, int(d.tile), 1) {
+		return ErrXferTimeout
+	}
 	e, err := d.epFor(ep, EpReceive)
 	if err != nil {
 		return err
@@ -137,6 +151,11 @@ func (d *DTU) reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64, f
 	}
 	d.m.replies.Inc()
 	err = d.issueMsg(p, req.SndTile, msgPacket{DstEp: req.ReplyEp, Msg: reply, CrdRet: req.CrdEp}, len(data))
+	if errors.Is(err, ErrXferTimeout) {
+		// The reply never reached the requester: re-occupy the slot so the
+		// retry (or the caller, if the budget runs out) can reissue it.
+		e.occupied |= 1 << uint(slot)
+	}
 	p.Sleep(d.costs.xferTime(len(data)))
 	return err
 }
@@ -149,7 +168,36 @@ func (d *DTU) SendRaw(p *sim.Proc, tile noc.TileID, ep EpID, msg Message, crdRet
 	if d.virt {
 		panic("dtu: SendRaw is a controller-DTU operation")
 	}
+	err := d.sendRaw(p, tile, ep, msg, crdRet)
+	for attempt := 0; d.retryTransient(p, err, msg.Flow, attempt); attempt++ {
+		err = d.sendRaw(p, tile, ep, msg, crdRet)
+	}
+	return err
+}
+
+func (d *DTU) sendRaw(p *sim.Proc, tile noc.TileID, ep EpID, msg Message, crdRet EpID) error {
+	if d.inj.FailCmd(msg.Flow, int(d.tile), 0) {
+		return ErrXferTimeout
+	}
 	return d.issueMsg(p, tile, msgPacket{DstEp: ep, Msg: msg, CrdRet: crdRet}, len(msg.Data))
+}
+
+// retryTransient reports whether a command wrapper should reissue after a
+// transient failure. Only ErrXferTimeout qualifies, and only while the
+// injector's retry budget lasts; the backoff (exponential, sim-time) is
+// slept here and recorded as a fault.retry span on the command's flow.
+func (d *DTU) retryTransient(p *sim.Proc, err error, flow uint64, attempt int) bool {
+	if !errors.Is(err, ErrXferTimeout) {
+		return false
+	}
+	backoff, ok := d.inj.CmdRetry(attempt)
+	if !ok {
+		return false
+	}
+	t0 := int64(d.eng.Now())
+	p.Sleep(backoff)
+	d.inj.EmitRetry(flow, t0, int64(d.eng.Now()), int(d.tile), attempt)
+	return true
 }
 
 // issueMsg transmits a message packet and blocks until the destination DTU
@@ -166,6 +214,12 @@ func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) 
 	d.eng.After(d.costs.Proc, func() {
 		np := d.net.NewPacket(d.tile, dst, headerBytes+payload, pkt)
 		np.Flow = flow
+		if d.inj.Enabled() {
+			// A terminally dropped packet must not leave the command parked
+			// forever: surface the loss as a transient timeout.
+			ack := pkt.Ack
+			np.Drop = func() { ack(ErrXferTimeout) }
+		}
 		d.net.Send(np)
 	})
 	for !done {

@@ -3,6 +3,7 @@ package dtu
 import (
 	"fmt"
 
+	"m3v/internal/fault"
 	"m3v/internal/mem"
 	"m3v/internal/noc"
 	"m3v/internal/sim"
@@ -65,6 +66,10 @@ type DTU struct {
 	// instruments in the shared metrics registry (always live).
 	rec *trace.Recorder
 	m   dtuMetrics
+
+	// inj injects command faults and arms transient-failure recovery. Nil
+	// (the default) means fault-free commands with no retry machinery.
+	inj *fault.Injector
 }
 
 // dtuMetrics are the DTU's registry-backed counters, replacing the loose
@@ -122,6 +127,10 @@ func NewMemory(eng *sim.Engine, net *noc.Network, tile noc.TileID, m *mem.Memory
 
 // Tile reports the tile this DTU belongs to.
 func (d *DTU) Tile() noc.TileID { return d.tile }
+
+// SetInjector arms fault injection and transient-failure recovery on this
+// DTU's commands. A nil injector restores fault-free operation.
+func (d *DTU) SetInjector(in *fault.Injector) { d.inj = in }
 
 // Virtualized reports whether this DTU carries the privileged interface.
 func (d *DTU) Virtualized() bool { return d.virt }

@@ -66,6 +66,11 @@ var (
 	ErrNoMessage = errors.New("dtu: no message")
 	// ErrAborted: the command was aborted by a concurrent activity switch.
 	ErrAborted = errors.New("dtu: command aborted")
+	// ErrXferTimeout: the transfer did not complete — the NoC dropped the
+	// packet for good, or a fault was injected into the command. Transient:
+	// the command wrappers retry it with exponential backoff when fault
+	// recovery is armed.
+	ErrXferTimeout = errors.New("dtu: transfer timed out")
 )
 
 // NoC payload types exchanged between DTUs.

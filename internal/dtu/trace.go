@@ -73,6 +73,8 @@ func errCode(err error) int64 {
 		return 9
 	case ErrAborted:
 		return 10
+	case ErrXferTimeout:
+		return 11
 	default:
 		return -1
 	}

@@ -12,6 +12,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"m3v/internal/cap"
@@ -274,7 +275,7 @@ func (k *Kernel) reply(p *sim.Proc, slot int, msg *dtu.Message, resp []byte) {
 	if err == nil {
 		return
 	}
-	if err == dtu.ErrNoRecipient && k.ReplyFallback != nil && k.ReplyFallback(msg, resp) {
+	if errors.Is(err, dtu.ErrNoRecipient) && k.ReplyFallback != nil && k.ReplyFallback(msg, resp) {
 		return
 	}
 	panic(fmt.Sprintf("kernel: syscall reply failed: %v", err))

@@ -423,6 +423,29 @@ func (d *Driver) performSwitch(p *sim.Proc, tile noc.TileID, to uint32, flow uin
 		int(d.k.DTU().Tile()), trace.CompKernel, trace.PathNone, int64(tile), int64(to))
 }
 
+// forwardRetryMax bounds the resends of a Forward syscall whose delivery
+// failed transiently before the sender gives up and surfaces the error.
+const forwardRetryMax = 12
+
+// forwardSyscall issues one OpForward request, resending on transient
+// delivery failures: ENoSpace (the recipient's saved buffer is full —
+// "retry later") and EUnreachable (the controller's direct delivery leg
+// was dropped on the NoC). The backoff doubles per attempt by burning
+// core cycles, so a dropped forward leg recovers in bounded sim-time
+// instead of surfacing an error to the workload.
+func forwardSyscall(a *activity.Activity, req []byte) error {
+	for attempt := 0; ; attempt++ {
+		code, _, err := a.Syscall(req)
+		if err != nil {
+			return err
+		}
+		if (code != proto.ENoSpace && code != proto.EUnreachable) || attempt >= forwardRetryMax {
+			return code.Err()
+		}
+		a.Compute(1000 << uint(min(attempt, 6)))
+	}
+}
+
 // SlowSend is the activity-side slow path for the request leg: on
 // ErrNoRecipient the sender forwards the message through the controller
 // (install as Activity.SlowSend).
@@ -435,11 +458,7 @@ func SlowSend(a *activity.Activity, args dtu.SendArgs) error {
 		U64(args.ReplyLabel).
 		Bytes(args.Data).
 		Done()
-	code, _, err := a.Syscall(req)
-	if err != nil {
-		return err
-	}
-	return code.Err()
+	return forwardSyscall(a, req)
 }
 
 // SlowReply is the activity-side slow path for the reply leg (install as
@@ -454,9 +473,5 @@ func SlowReply(a *activity.Activity, orig *dtu.Message, data []byte) error {
 		U32(uint32(int32(orig.CrdEp))).
 		Bytes(data).
 		Done()
-	code, _, err := a.Syscall(req)
-	if err != nil {
-		return err
-	}
-	return code.Err()
+	return forwardSyscall(a, req)
 }

@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 
+	"m3v/internal/fault"
 	"m3v/internal/sim"
 	"m3v/internal/trace"
 )
@@ -25,6 +26,11 @@ type Packet struct {
 	// untraced packets and non-message traffic). Model metadata only: it
 	// selects span emission and does not add wire bytes.
 	Flow uint64
+	// Drop, if set, is invoked when the packet is dropped for good (retry
+	// budget exhausted): the sender's chance to time out instead of waiting
+	// forever for an acknowledgement. It runs after the packet has been
+	// recycled and must not reference it.
+	Drop func()
 }
 
 // Handler receives packets delivered to a tile. Deliver reports whether the
@@ -86,6 +92,10 @@ type Network struct {
 	cNacked    *trace.Counter
 	cDropped   *trace.Counter
 	cBytes     *trace.Counter
+
+	// inj injects packet faults at the transmit edge. Nil (the default)
+	// means a perfect interconnect.
+	inj *fault.Injector
 }
 
 // New creates a network over the given topology.
@@ -121,6 +131,10 @@ func (n *Network) Bytes() int64 { return n.cBytes.Value() }
 // the handler.
 func (n *Network) Attach(id TileID, h Handler) { n.handlers[id] = h }
 
+// SetInjector arms fault injection on the network. A nil injector restores
+// the perfect interconnect.
+func (n *Network) SetInjector(in *fault.Injector) { n.inj = in }
+
 // serialization reports the time to push size bytes onto one link.
 func (n *Network) serialization(size int) sim.Time {
 	if n.cfg.BandwidthBps <= 0 {
@@ -145,13 +159,15 @@ func (n *Network) NewPacket(src, dst TileID, size int, payload interface{}) *Pac
 		n.freePkts = n.freePkts[:len(n.freePkts)-1]
 		pkt.Src, pkt.Dst, pkt.Size, pkt.Payload = src, dst, size, payload
 		pkt.Flow = 0
+		pkt.Drop = nil
 		return pkt
 	}
 	return &Packet{Src: src, Dst: dst, Size: size, Payload: payload}
 }
 
 func (n *Network) releasePkt(pkt *Packet) {
-	pkt.Payload = nil // drop the payload reference for GC
+	pkt.Payload = nil // drop the payload and callback references for GC
+	pkt.Drop = nil
 	n.freePkts = append(n.freePkts, pkt)
 }
 
@@ -196,6 +212,7 @@ func (n *Network) releaseInflight(fl *inflight) {
 // times. The packet is recycled once delivery completes; callers must not
 // touch it after Send.
 func (n *Network) Send(pkt *Packet) {
+	n.inj.CountSend()
 	fl := n.newInflight(pkt)
 	if pkt.Src == pkt.Dst {
 		// Tile-local loopback through the DTU: one hop worth of latency,
@@ -211,6 +228,18 @@ func (n *Network) Send(pkt *Packet) {
 
 func (fl *inflight) transmit() {
 	n, pkt := fl.n, fl.pkt
+	// Injected drop: the attempt is lost before reaching the ingress router.
+	// Retransmit after the injector's backoff, charging the retry budget as
+	// if the destination had NACKed.
+	if backoff, drop := n.inj.Drop(pkt.Flow, int(pkt.Dst), fl.attempt); drop {
+		if n.cfg.MaxRetries > 0 && fl.attempt+1 >= n.cfg.MaxRetries {
+			n.terminalDrop(fl)
+			return
+		}
+		fl.attempt++
+		n.eng.After(backoff, fl.retry)
+		return
+	}
 	ser := n.serialization(pkt.Size)
 	delay := n.Latency(pkt.Src, pkt.Dst, pkt.Size)
 	// Router contention: the packet occupies each router on its path for its
@@ -232,7 +261,31 @@ func (fl *inflight) transmit() {
 			int64(now), int64(now+queueing), int(pkt.Dst), trace.CompNoC,
 			trace.PathNone, int64(r), 0)
 	}
-	n.eng.After(queueing+delay, fl.fire)
+	if n.inj.Dup(pkt.Flow, int(pkt.Dst)) {
+		// Ghost duplicate: it books the ingress router a second time (real
+		// contention) but is filtered at the destination, so the message is
+		// never delivered twice.
+		gstart := n.routerFree[r]
+		n.routerFree[r] = gstart + ser
+		n.eng.After(gstart-now+delay, n.inj.DiscardGhost)
+	}
+	extra := n.inj.Delay(pkt.Flow, int(pkt.Dst))
+	n.eng.After(queueing+delay+extra, fl.fire)
+}
+
+// terminalDrop retires a packet whose retry budget is exhausted. The drop is
+// counted, reported to the injector's degradation counters, and the packet's
+// Drop callback (if any) fires so the sender can time out.
+func (n *Network) terminalDrop(fl *inflight) {
+	pkt := fl.pkt
+	n.cDropped.Inc()
+	n.inj.TerminalDrop(pkt.Flow, int(pkt.Dst), fl.attempt)
+	drop := pkt.Drop
+	n.releasePkt(pkt)
+	n.releaseInflight(fl)
+	if drop != nil {
+		drop()
+	}
 }
 
 func (fl *inflight) deliver() {
@@ -262,9 +315,7 @@ func (fl *inflight) deliver() {
 	n.rec.EndSpanArgs(fl.span, int64(now), trace.PathNone, int64(fl.attempt), 0)
 	fl.span = 0
 	if n.cfg.MaxRetries > 0 && fl.attempt+1 >= n.cfg.MaxRetries {
-		n.cDropped.Inc()
-		n.releasePkt(pkt)
-		n.releaseInflight(fl)
+		n.terminalDrop(fl)
 		return
 	}
 	fl.attempt++

@@ -214,6 +214,14 @@ func NewEngine() *Engine {
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// Seq reports the number of events scheduled so far. It advances on every
+// At/After call, which makes it a deterministic, replayable progress marker:
+// fault schedules key their pseudo-random decisions off (seed, Seq) so the
+// same seed always replays the same fault pattern.
+//
+//m3v:noalloc
+func (e *Engine) Seq() uint64 { return e.seq }
+
 // Tracer returns the engine's structured event recorder (never nil). All
 // components built on this engine share it: the recorder's metrics registry
 // is always live, while the event stream is off until Tracer().Enable().

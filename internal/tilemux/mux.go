@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"m3v/internal/dtu"
+	"m3v/internal/fault"
 	"m3v/internal/proto"
 	"m3v/internal/sim"
 	"m3v/internal/trace"
@@ -47,6 +48,11 @@ type Mux struct {
 	muxWaiting bool
 
 	muxProc *sim.Proc
+	// wake pokes the scheduler; cached once so stall injection can defer
+	// the poke without allocating a closure per wakeup.
+	wake func()
+	// inj injects wakeup stalls. Nil (the default) means prompt pokes.
+	inj *fault.Injector
 	// muxMsgs is the saved unread count of TileMux's own activity id.
 	muxMsgs int
 	// curExtra counts messages that arrived for the now-current activity
@@ -93,8 +99,13 @@ func New(eng *sim.Engine, clock sim.Clock, d *dtu.DTU, eps EPConfig) *Mux {
 		}
 	}
 	m.muxProc = eng.Spawn(fmt.Sprintf("tilemux@%d", d.Tile()), m.muxLoop)
+	m.wake = func() { m.muxProc.Wake() }
 	return m
 }
+
+// SetInjector arms wakeup-stall injection on this multiplexer. A nil
+// injector restores prompt scheduler pokes.
+func (m *Mux) SetInjector(in *fault.Injector) { m.inj = in }
 
 // Costs returns the timing model for calibration by benches.
 func (m *Mux) Costs() *Costs { return &m.costs }
@@ -229,6 +240,13 @@ func (m *Mux) makeReady(a *Act) {
 	a.state = actReady
 	a.wantMsg = false
 	m.runq = append(m.runq, a)
+	// Injected stall: the activity is on the run queue, but the scheduler
+	// poke is deferred — the wakeup happens late, never lost, so liveness
+	// shifts by the stall time only.
+	if d, ok := m.inj.Stall(a.wakeFlow, int(m.d.Tile())); ok {
+		m.eng.After(d, m.wake)
+		return
+	}
 	m.muxProc.Wake()
 }
 

@@ -26,6 +26,7 @@ const (
 	CompTileMux
 	CompKernel
 	CompActivity
+	CompFault
 	numComponents
 )
 
@@ -36,6 +37,7 @@ var componentNames = [numComponents]string{
 	CompTileMux:  "tilemux",
 	CompKernel:   "kernel",
 	CompActivity: "activity",
+	CompFault:    "fault",
 }
 
 // String returns the component's short name.

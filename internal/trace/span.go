@@ -70,23 +70,48 @@ const (
 	// performed to schedule the flow's recipient.
 	// Arg0 = tile, Arg1 = target activity (global id).
 	SpanKernSwitch
+	// SpanFaultDrop covers an injected NoC packet drop and the retransmit
+	// backoff it forced: [drop, retransmit). Arg0 = attempt number,
+	// Arg1 = 1 if the drop was terminal (retry budget exhausted).
+	SpanFaultDrop
+	// SpanFaultDelay is an injected NoC latency penalty; the interval is
+	// the extra wire time added. Arg0 = extra picoseconds.
+	SpanFaultDelay
+	// SpanFaultDup marks an injected duplicate NoC packet (instant at the
+	// transmit edge). The ghost copy is filtered at the destination.
+	SpanFaultDup
+	// SpanFaultCmdFail marks an injected DTU command failure (instant).
+	// Arg0 = 0 for send, 1 for reply.
+	SpanFaultCmdFail
+	// SpanFaultRetry covers one retry backoff sleep a DTU command wrapper
+	// took after a transient failure. Arg0 = attempt number.
+	SpanFaultRetry
+	// SpanFaultStall covers an injected TileMux wakeup stall: the interval
+	// by which the scheduler poke was deferred.
+	SpanFaultStall
 	numSpanNames
 )
 
 var spanNames = [numSpanNames]string{
-	SpanNone:        "",
-	SpanDTUSend:     "dtu.send",
-	SpanDTUReply:    "dtu.reply",
-	SpanDTUTLB:      "dtu.tlb",
-	SpanDTUDeliver:  "dtu.deliver",
-	SpanDTUCoreReq:  "dtu.core_req",
-	SpanDTUFetch:    "dtu.fetch",
-	SpanNoCXfer:     "noc.xfer",
-	SpanNoCQueue:    "noc.queue",
-	SpanMuxWakeup:   "tilemux.wakeup",
-	SpanKernSyscall: "kernel.syscall",
-	SpanKernForward: "kernel.forward",
-	SpanKernSwitch:  "kernel.remote_switch",
+	SpanNone:         "",
+	SpanDTUSend:      "dtu.send",
+	SpanDTUReply:     "dtu.reply",
+	SpanDTUTLB:       "dtu.tlb",
+	SpanDTUDeliver:   "dtu.deliver",
+	SpanDTUCoreReq:   "dtu.core_req",
+	SpanDTUFetch:     "dtu.fetch",
+	SpanNoCXfer:      "noc.xfer",
+	SpanNoCQueue:     "noc.queue",
+	SpanMuxWakeup:    "tilemux.wakeup",
+	SpanKernSyscall:  "kernel.syscall",
+	SpanKernForward:  "kernel.forward",
+	SpanKernSwitch:   "kernel.remote_switch",
+	SpanFaultDrop:    "fault.drop",
+	SpanFaultDelay:   "fault.delay",
+	SpanFaultDup:     "fault.dup",
+	SpanFaultCmdFail: "fault.cmd_fail",
+	SpanFaultRetry:   "fault.retry",
+	SpanFaultStall:   "fault.stall",
 }
 
 // String returns the span's component.noun name.
