@@ -39,6 +39,22 @@ echo "== bench smoke =="
 go test -run '^$' -bench 'EngineSchedule|EnginePingPong' -benchtime 1x ./internal/sim
 go test -run '^$' -bench 'Fig9FindOneTile' -benchtime 1x .
 
+echo "== perf smoke =="
+# Scheduler performance gate: every sim microbenchmark runs once, the
+# steady-state alloc guard must hold for both schedulers, and a fig6-shaped
+# run must produce identical trace hashes under -sched=heap and -sched=wheel
+# (the differential check backing the timing-wheel default).
+go test -run '^$' -bench . -benchtime 1x ./internal/sim/
+go test -run 'TestSchedulePathAllocFree' -count=1 -v ./internal/sim/ | grep -q 'PASS.*wheel'
+PERF_TMP="$(mktemp -d)"
+go run ./cmd/m3vsim -rounds 10 -sched heap -trace-hash | grep 'trace-hash:' \
+    > "$PERF_TMP/heap.txt"
+go run ./cmd/m3vsim -rounds 10 -sched wheel -trace-hash | grep 'trace-hash:' \
+    > "$PERF_TMP/wheel.txt"
+test -s "$PERF_TMP/heap.txt"
+cmp "$PERF_TMP/heap.txt" "$PERF_TMP/wheel.txt"
+rm -rf "$PERF_TMP"
+
 echo "== m3vtrace smoke =="
 # End-to-end flow tracing gate: a small Figure-6-style run dumps its span
 # streams, m3vtrace -check verifies well-formedness (every begin has an
@@ -84,6 +100,7 @@ go run ./cmd/m3vbench -run fig9 -fig9-tiles 1,2 -compare-serial \
 if [ -n "${FUZZTIME:-}" ]; then
     echo "== fuzzing (${FUZZTIME}) =="
     go test -fuzz FuzzEngineOrdering -fuzztime "$FUZZTIME" ./internal/sim
+    go test -fuzz FuzzQueueEquivalence -fuzztime "$FUZZTIME" ./internal/sim
     go test -fuzz FuzzNoCArbitration -fuzztime "$FUZZTIME" ./internal/noc
     go test -fuzz FuzzDTUCommands -fuzztime "$FUZZTIME" ./internal/dtu
 fi

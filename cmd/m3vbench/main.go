@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"m3v/internal/bench"
 	"m3v/internal/core"
 	"m3v/internal/fault"
+	"m3v/internal/sim"
 	"m3v/internal/trace"
 )
 
@@ -55,6 +57,12 @@ type benchExperiment struct {
 	WallMs float64    `json:"wall_ms"`
 	Rows   []benchRow `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`
+	// Scheduler throughput, recorded since m3vbench/v2: simulation events
+	// dispatched during the experiment (its parallel pass only, under
+	// -compare-serial) and the resulting events per wall-clock second. Zero
+	// when read from a v1 report.
+	EventsExecuted uint64  `json:"events_executed,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
 	// Set by -compare-serial: the serial wall clock, the parallel/serial
 	// speedup, and whether the two tables were byte-identical.
 	SerialWallMs float64 `json:"serial_wall_ms,omitempty"`
@@ -62,18 +70,42 @@ type benchExperiment struct {
 	Identical    *bool   `json:"identical,omitempty"`
 }
 
-// benchReport is the BENCH_m3vbench.json schema (schema "m3vbench/v1"): the
+// benchReport is the BENCH_m3vbench.json schema (schema "m3vbench/v2"): the
 // per-experiment simulated metrics plus the simulator's own wall-clock
 // trajectory, so performance regressions of the simulator are recorded run
-// over run.
+// over run. v2 adds the sched field and per-experiment events_executed /
+// events_per_sec; v1 files lack them and are still accepted by
+// loadBenchReport.
 type benchReport struct {
 	Schema      string            `json:"schema"`
 	Timestamp   string            `json:"timestamp"`
 	GoVersion   string            `json:"go_version"`
 	NumCPU      int               `json:"num_cpu"`
 	Parallel    int               `json:"parallel"`
+	Sched       string            `json:"sched,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalWallMs float64           `json:"total_wall_ms"`
+}
+
+// benchSchemas are the report versions loadBenchReport accepts.
+var benchSchemas = map[string]bool{"m3vbench/v1": true, "m3vbench/v2": true}
+
+// loadBenchReport reads a BENCH_m3vbench.json written by any supported
+// schema version. v1 reports parse with the v2 struct: the fields added in
+// v2 stay zero.
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !benchSchemas[r.Schema] {
+		return nil, fmt.Errorf("%s: unsupported schema %q", path, r.Schema)
+	}
+	return &r, nil
 }
 
 func fail(format string, args ...interface{}) {
@@ -90,10 +122,14 @@ type options struct {
 	metrics       bool
 	parallel      int
 	benchJSON     string
+	baseline      string
 	compareSerial bool
 	fig9Series    []int
 	faultSeed     uint64
 	faultRate     float64
+	sched         sim.SchedKind
+	cpuProfile    string
+	memProfile    string
 }
 
 // parseOptions parses the command line. Split from main for CLI tests.
@@ -111,6 +147,10 @@ func parseOptions(args []string) (*options, error) {
 	fig9Tiles := fs.String("fig9-tiles", "", "override the fig9 tile-count series, e.g. 1,2,4 (smoke runs)")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "uniform fault-injection rate in [0,1] applied to every simulated system (0 disables)")
+	schedFlag := fs.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) or heap (4-ary min-heap)")
+	fs.StringVar(&o.baseline, "baseline", "", "compare wall clock against a previous BENCH_m3vbench.json (v1 or v2)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -123,6 +163,11 @@ func parseOptions(args []string) (*options, error) {
 	if o.faultRate < 0 || o.faultRate > 1 {
 		return nil, fmt.Errorf("-fault-rate must be in [0,1], got %g", o.faultRate)
 	}
+	sched, err := sim.ParseSched(*schedFlag)
+	if err != nil {
+		return nil, err
+	}
+	o.sched = sched
 	if *fig9Tiles != "" {
 		series, err := parseTiles(*fig9Tiles)
 		if err != nil {
@@ -166,6 +211,23 @@ func main() {
 		return
 	}
 	bench.SetParallelism(o.parallel)
+	// Experiments build their engines internally (often on sweep worker
+	// goroutines), so the scheduler choice travels through the process-wide
+	// default, like the fault config below.
+	sim.SetDefaultScheduler(o.sched)
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if o.fig9Series != nil {
 		bench.Fig9Tiles = o.fig9Series
 	}
@@ -188,11 +250,12 @@ func main() {
 		ids = strings.Split(o.run, ",")
 	}
 	report := benchReport{
-		Schema:    "m3vbench/v1",
+		Schema:    "m3vbench/v2",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Parallel:  o.parallel,
+		Sched:     sim.DefaultScheduler().String(),
 	}
 	t0 := time.Now()
 	for _, id := range ids {
@@ -200,15 +263,21 @@ func main() {
 		if !ok {
 			fail("unknown experiment %q (try -list)", id)
 		}
+		ev0 := sim.TotalEventsExecuted()
 		start := time.Now()
 		r := fn()
 		wall := time.Since(start)
+		events := sim.TotalEventsExecuted() - ev0
 		fmt.Println(r)
 		exp := benchExperiment{
-			ID:     r.ID,
-			Title:  r.Title,
-			WallMs: float64(wall.Microseconds()) / 1000,
-			Notes:  r.Notes,
+			ID:             r.ID,
+			Title:          r.Title,
+			WallMs:         float64(wall.Microseconds()) / 1000,
+			Notes:          r.Notes,
+			EventsExecuted: events,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			exp.EventsPerSec = float64(events) / secs
 		}
 		for _, m := range r.Rows {
 			exp.Rows = append(exp.Rows, benchRow{Label: m.Label, Value: m.Value, Unit: m.Unit, Paper: m.Paper})
@@ -234,6 +303,14 @@ func main() {
 		report.Experiments = append(report.Experiments, exp)
 	}
 	report.TotalWallMs = float64(time.Since(t0).Microseconds()) / 1000
+
+	if o.baseline != "" {
+		old, err := loadBenchReport(o.baseline)
+		if err != nil {
+			fail("baseline: %v", err)
+		}
+		printBaselineDelta(os.Stdout, old, &report)
+	}
 
 	recs := trace.Registered()
 	if o.traceFile != "" {
@@ -286,5 +363,42 @@ func main() {
 		}
 		fmt.Printf("bench-json: %d experiments, %.0fms total -> %s\n",
 			len(report.Experiments), report.TotalWallMs, o.benchJSON)
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			fail("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("memprofile: %v", err)
+		}
+	}
+}
+
+// printBaselineDelta prints the wall-clock trajectory of the current run
+// against a previously recorded report (v1 or v2).
+func printBaselineDelta(w io.Writer, old, cur *benchReport) {
+	oldExp := make(map[string]benchExperiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldExp[e.ID] = e
+	}
+	for _, e := range cur.Experiments {
+		prev, ok := oldExp[e.ID]
+		if !ok || prev.WallMs <= 0 {
+			fmt.Fprintf(w, "baseline %s: no previous wall clock\n", e.ID)
+			continue
+		}
+		delta := (e.WallMs - prev.WallMs) / prev.WallMs * 100
+		fmt.Fprintf(w, "baseline %s: %.0fms -> %.0fms (%+.1f%%)\n",
+			e.ID, prev.WallMs, e.WallMs, delta)
+	}
+	if old.TotalWallMs > 0 {
+		delta := (cur.TotalWallMs - old.TotalWallMs) / old.TotalWallMs * 100
+		fmt.Fprintf(w, "baseline total (%s): %.0fms -> %.0fms (%+.1f%%)\n",
+			old.Schema, old.TotalWallMs, cur.TotalWallMs, delta)
 	}
 }

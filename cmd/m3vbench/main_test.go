@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
 	"testing"
+
+	"m3v/internal/sim"
 )
 
 // TestParseOptionsDefaults pins the default option values.
@@ -72,6 +77,143 @@ func TestListExperiments(t *testing.T) {
 	for _, id := range lines {
 		if _, ok := experiments[id]; !ok {
 			t.Errorf("listed experiment %q has no driver", id)
+		}
+	}
+}
+
+// TestParseOptionsSched covers the -sched flag: the default is the wheel,
+// heap is the escape hatch, anything else errors.
+func TestParseOptionsSched(t *testing.T) {
+	o, err := parseOptions(nil)
+	if err != nil {
+		t.Fatalf("parseOptions(nil): %v", err)
+	}
+	if o.sched != sim.SchedWheel {
+		t.Errorf("default sched = %v, want wheel", o.sched)
+	}
+	o, err = parseOptions([]string{"-sched", "heap"})
+	if err != nil {
+		t.Fatalf("parseOptions(-sched heap): %v", err)
+	}
+	if o.sched != sim.SchedHeap {
+		t.Errorf("sched = %v, want heap", o.sched)
+	}
+	if _, err := parseOptions([]string{"-sched", "calendar"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheduler") {
+		t.Errorf("parseOptions(-sched calendar) err = %v, want unknown scheduler", err)
+	}
+}
+
+// TestLoadBenchReportV1 checks that the reader still accepts the previous
+// schema version: the fields added in v2 read as zero.
+func TestLoadBenchReportV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	v1 := `{
+  "schema": "m3vbench/v1",
+  "timestamp": "2026-08-08T09:14:25Z",
+  "go_version": "go1.24.0",
+  "num_cpu": 1,
+  "parallel": 1,
+  "experiments": [
+    {"id": "fig9", "title": "Scalability", "wall_ms": 6244.193,
+     "rows": [{"label": "M3v find 1", "value": 87.7, "unit": "runs/s", "paper": 84}]}
+  ],
+  "total_wall_ms": 12601.35
+}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadBenchReport(path)
+	if err != nil {
+		t.Fatalf("loadBenchReport(v1): %v", err)
+	}
+	if r.Schema != "m3vbench/v1" || r.TotalWallMs != 12601.35 || len(r.Experiments) != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	exp := r.Experiments[0]
+	if exp.WallMs != 6244.193 || exp.Rows[0].Label != "M3v find 1" {
+		t.Errorf("experiment = %+v", exp)
+	}
+	if exp.EventsExecuted != 0 || exp.EventsPerSec != 0 {
+		t.Errorf("v1 report must read with zero v2 fields, got %d / %g",
+			exp.EventsExecuted, exp.EventsPerSec)
+	}
+	if r.Sched != "" {
+		t.Errorf("v1 report must read with empty sched, got %q", r.Sched)
+	}
+}
+
+// TestLoadBenchReportV2RoundTrip writes a v2 report through the same
+// marshaling main uses and reads it back.
+func TestLoadBenchReportV2RoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.json")
+	want := benchReport{
+		Schema:    "m3vbench/v2",
+		GoVersion: "go1.24.0",
+		NumCPU:    1,
+		Parallel:  2,
+		Sched:     "wheel",
+		Experiments: []benchExperiment{{
+			ID: "fig9", Title: "Scalability", WallMs: 5000,
+			EventsExecuted: 2400000, EventsPerSec: 480000,
+			Rows: []benchRow{{Label: "M3v find 1", Value: 87.7, Unit: "runs/s"}},
+		}},
+		TotalWallMs: 5000,
+	}
+	data, err := json.MarshalIndent(&want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBenchReport(path)
+	if err != nil {
+		t.Fatalf("loadBenchReport(v2): %v", err)
+	}
+	if !reflect.DeepEqual(got, &want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, &want)
+	}
+}
+
+// TestLoadBenchReportBadSchema rejects unknown schema versions.
+func TestLoadBenchReportBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": "m3vbench/v99"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchReport(path); err == nil ||
+		!strings.Contains(err.Error(), "unsupported schema") {
+		t.Errorf("loadBenchReport(bad schema) err = %v, want unsupported schema", err)
+	}
+}
+
+// TestPrintBaselineDelta checks the -baseline comparison output for both a
+// matched experiment and one missing from the old report.
+func TestPrintBaselineDelta(t *testing.T) {
+	old := &benchReport{
+		Schema:      "m3vbench/v1",
+		Experiments: []benchExperiment{{ID: "fig9", WallMs: 1000}},
+		TotalWallMs: 1000,
+	}
+	cur := &benchReport{
+		Schema: "m3vbench/v2",
+		Experiments: []benchExperiment{
+			{ID: "fig9", WallMs: 800},
+			{ID: "fig6", WallMs: 50},
+		},
+		TotalWallMs: 850,
+	}
+	var out strings.Builder
+	printBaselineDelta(&out, old, cur)
+	got := out.String()
+	for _, want := range []string{
+		"baseline fig9: 1000ms -> 800ms (-20.0%)",
+		"baseline fig6: no previous wall clock",
+		"baseline total (m3vbench/v1): 1000ms -> 850ms (-15.0%)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("baseline output missing %q:\n%s", want, got)
 		}
 	}
 }

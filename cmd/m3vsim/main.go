@@ -12,9 +12,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"m3v"
 	"m3v/internal/fault"
+	"m3v/internal/sim"
 	"m3v/internal/trace"
 )
 
@@ -45,6 +48,9 @@ func run(args []string, out io.Writer) error {
 	faultSeed := fs.Uint64("fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
 	faultRate := fs.Float64("fault-rate", 0, "uniform fault-injection rate in [0,1] (0 disables injection)")
 	traceHash := fs.Bool("trace-hash", false, "enable tracing and print the run's event and span hashes")
+	schedFlag := fs.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) or heap (4-ary min-heap)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,11 +63,30 @@ func run(args []string, out io.Writer) error {
 	if *faultRate < 0 || *faultRate > 1 {
 		return fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate)
 	}
+	sched, err := sim.ParseSched(*schedFlag)
+	if err != nil {
+		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := m3v.FPGA()
 	if *gem5 {
 		cfg = m3v.Gem5(4)
 	}
+	cfg.Sched = sched
 	if *faultRate > 0 {
 		cfg.Fault = fault.Uniform(*faultSeed, *faultRate)
 	}
@@ -160,6 +185,29 @@ func run(args []string, out io.Writer) error {
 	if *metrics {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, rec.Summary())
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHeapProfile dumps the heap profile after a GC, so the file reflects
+// live objects rather than garbage awaiting collection.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
 	return nil
 }

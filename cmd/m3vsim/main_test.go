@@ -82,3 +82,45 @@ func TestRunChaosDeterminism(t *testing.T) {
 		t.Errorf("fault summary missing:\n%s", a)
 	}
 }
+
+// TestRunSchedulerHashEquality pins the -sched escape hatch end to end: the
+// same simulation (including a fault-injected one, whose schedule keys off
+// the engine's event sequence) must produce identical trace and span hashes
+// under -sched=heap and -sched=wheel.
+func TestRunSchedulerHashEquality(t *testing.T) {
+	hashLine := func(args ...string) string {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "trace-hash:") {
+				return line
+			}
+		}
+		t.Fatalf("no trace-hash line in output of %v:\n%s", args, out.String())
+		return ""
+	}
+	cases := [][]string{
+		{"-rounds", "5", "-trace-hash"},
+		{"-rounds", "5", "-shared", "-trace-hash"},
+		{"-rounds", "5", "-fault-seed", "42", "-fault-rate", "0.05", "-trace-hash"},
+	}
+	for _, base := range cases {
+		heap := hashLine(append([]string{"-sched", "heap"}, base...)...)
+		wheel := hashLine(append([]string{"-sched", "wheel"}, base...)...)
+		if heap != wheel {
+			t.Errorf("%v: hashes differ between schedulers:\nheap:  %s\nwheel: %s",
+				base, heap, wheel)
+		}
+	}
+}
+
+// TestRunBadScheduler covers the -sched flag's error path.
+func TestRunBadScheduler(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-sched", "calendar"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Errorf("run(-sched calendar) err = %v, want unknown scheduler", err)
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"m3v/internal/sim"
+)
+
+// TestSchedulerEquivalenceFigures pins the scheduler swap at the system
+// level: the fig6 and fig9 tables must be byte-identical whether the
+// engines run on the heap queue or the timing wheel. Together with the
+// golden snapshot (generated before the wheel existed) this guarantees the
+// wheel changes no simulated result, only wall-clock time.
+func TestSchedulerEquivalenceFigures(t *testing.T) {
+	saved := Fig9Tiles
+	Fig9Tiles = []int{1}
+	defer func() { Fig9Tiles = saved }()
+	// The figure drivers build their engines internally, so the scheduler
+	// choice travels through the process-wide default — restore it so later
+	// tests see the built-in default again.
+	defer sim.SetDefaultScheduler(sim.SchedDefault)
+
+	for _, exp := range []struct {
+		id  string
+		run func() *Result
+	}{
+		{"fig6", Fig6},
+		{"fig9", Fig9},
+	} {
+		sim.SetDefaultScheduler(sim.SchedHeap)
+		heap := exp.run().String()
+		sim.SetDefaultScheduler(sim.SchedWheel)
+		wheel := exp.run().String()
+		if heap != wheel {
+			t.Errorf("%s: tables differ between schedulers\n-- heap --\n%s\n-- wheel --\n%s",
+				exp.id, heap, wheel)
+		}
+	}
+}

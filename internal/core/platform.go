@@ -48,6 +48,11 @@ type Config struct {
 	// SetDefaultFault applies (used by the benchmark harness's CLI flags,
 	// which cannot reach into per-experiment configs).
 	Fault fault.Config
+	// Sched selects the engine's event-queue implementation.
+	// sim.SchedDefault resolves to the process-wide default (the timing
+	// wheel, or whatever sim.SetDefaultScheduler installed — the CLIs'
+	// -sched flag uses the latter, mirroring the Fault pattern above).
+	Sched sim.SchedKind
 }
 
 // defaultFault is the process-wide fault config applied to systems whose

@@ -74,7 +74,17 @@ type Network struct {
 	eng      *sim.Engine
 	topo     Topology
 	cfg      Config
-	handlers map[TileID]Handler
+	handlers []Handler // indexed by TileID; grown on Attach
+
+	// Fast-path tables, precomputed in New when the topology reports its
+	// tile count. The transmit path is the second-hottest loop in the
+	// simulator after the event queue; a flat table load replaces the
+	// interface calls and Manhattan-distance arithmetic of Topology.Hops
+	// per packet.
+	nTiles    int        // 0 when the topology does not report a tile count
+	latBase   []sim.Time // [src*nTiles+dst] hop latency (no serialization)
+	routerTab []int      // [tile] router, mirrors topo.RouterOf
+	psPerByte int64      // serialization ps/byte when exact, else 0 (slow path)
 
 	// routerFree[r] is the earliest time router r can accept the next
 	// packet; it models serialization contention at the router.
@@ -101,11 +111,10 @@ type Network struct {
 // New creates a network over the given topology.
 func New(eng *sim.Engine, topo Topology, cfg Config) *Network {
 	reg := eng.Tracer().Metrics()
-	return &Network{
+	n := &Network{
 		eng:        eng,
 		topo:       topo,
 		cfg:        cfg,
-		handlers:   make(map[TileID]Handler),
 		routerFree: make([]sim.Time, topo.Routers()),
 		rec:        eng.Tracer(),
 		cDelivered: reg.Counter("noc.delivered"),
@@ -113,6 +122,25 @@ func New(eng *sim.Engine, topo Topology, cfg Config) *Network {
 		cDropped:   reg.Counter("noc.dropped"),
 		cBytes:     reg.Counter("noc.bytes"),
 	}
+	if tiles := topo.Tiles(); tiles > 0 {
+		n.nTiles = tiles
+		n.handlers = make([]Handler, tiles)
+		n.latBase = make([]sim.Time, tiles*tiles)
+		n.routerTab = make([]int, tiles)
+		for s := 0; s < tiles; s++ {
+			n.routerTab[s] = topo.RouterOf(TileID(s))
+			for d := 0; d < tiles; d++ {
+				n.latBase[s*tiles+d] = sim.Time(topo.Hops(TileID(s), TileID(d))) * cfg.HopLatency
+			}
+		}
+	}
+	if bps := cfg.BandwidthBps; bps > 0 && int64(sim.Second)%bps == 0 {
+		// Exact picoseconds per byte (the default 1.6 GB/s link divides
+		// sim.Second evenly): serialization becomes a multiply instead of a
+		// 64-bit division per packet.
+		n.psPerByte = int64(sim.Second) / bps
+	}
+	return n
 }
 
 // Delivered reports the number of packets accepted by their destination.
@@ -129,25 +157,57 @@ func (n *Network) Bytes() int64 { return n.cBytes.Value() }
 
 // Attach registers the packet handler for a tile. Attaching twice replaces
 // the handler.
-func (n *Network) Attach(id TileID, h Handler) { n.handlers[id] = h }
+func (n *Network) Attach(id TileID, h Handler) {
+	for int(id) >= len(n.handlers) {
+		n.handlers = append(n.handlers, nil)
+	}
+	n.handlers[id] = h
+}
 
 // SetInjector arms fault injection on the network. A nil injector restores
 // the perfect interconnect.
 func (n *Network) SetInjector(in *fault.Injector) { n.inj = in }
 
 // serialization reports the time to push size bytes onto one link.
+//
+//m3v:noalloc
 func (n *Network) serialization(size int) sim.Time {
+	if n.psPerByte != 0 {
+		return sim.Time(int64(size) * n.psPerByte)
+	}
 	if n.cfg.BandwidthBps <= 0 {
 		return 0
 	}
 	return sim.Time(int64(size) * int64(sim.Second) / n.cfg.BandwidthBps)
 }
 
+// hopLatency reports the propagation share of a transfer: hops times the
+// per-hop latency, via the precomputed table when available.
+//
+//m3v:noalloc
+func (n *Network) hopLatency(src, dst TileID) sim.Time {
+	if n.latBase != nil && int(src) < n.nTiles && int(dst) < n.nTiles {
+		return n.latBase[int(src)*n.nTiles+int(dst)]
+	}
+	return sim.Time(n.topo.Hops(src, dst)) * n.cfg.HopLatency
+}
+
+// routerOf reports a tile's router, via the precomputed table when available.
+//
+//m3v:noalloc
+func (n *Network) routerOf(t TileID) int {
+	if n.routerTab != nil && int(t) < n.nTiles {
+		return n.routerTab[t]
+	}
+	return n.topo.RouterOf(t)
+}
+
 // Latency reports the uncontended transfer time for a packet of the given
 // size between two tiles.
+//
+//m3v:noalloc
 func (n *Network) Latency(src, dst TileID, size int) sim.Time {
-	hops := n.topo.Hops(src, dst)
-	return sim.Time(hops)*n.cfg.HopLatency + n.serialization(size)
+	return n.hopLatency(src, dst) + n.serialization(size)
 }
 
 // NewPacket returns a packet from the network's free list (or a fresh one),
@@ -241,10 +301,10 @@ func (fl *inflight) transmit() {
 		return
 	}
 	ser := n.serialization(pkt.Size)
-	delay := n.Latency(pkt.Src, pkt.Dst, pkt.Size)
+	delay := n.hopLatency(pkt.Src, pkt.Dst) + ser
 	// Router contention: the packet occupies each router on its path for its
 	// serialization time. Model the bottleneck via the ingress router.
-	r := n.topo.RouterOf(pkt.Src)
+	r := n.routerOf(pkt.Src)
 	now := n.eng.Now()
 	start := now
 	if n.routerFree[r] > start {
@@ -290,7 +350,10 @@ func (n *Network) terminalDrop(fl *inflight) {
 
 func (fl *inflight) deliver() {
 	n, pkt := fl.n, fl.pkt
-	h := n.handlers[pkt.Dst]
+	var h Handler
+	if d := int(pkt.Dst); d < len(n.handlers) {
+		h = n.handlers[d]
+	}
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler attached to tile %d", pkt.Dst))
 	}
@@ -330,6 +393,11 @@ type Topology interface {
 	RouterOf(t TileID) int
 	// Routers reports the number of routers.
 	Routers() int
+	// Tiles reports the number of tiles, or 0 if unknown. A positive count
+	// lets the network precompute per-(src,dst) latency and router tables;
+	// Hops/RouterOf must be pure functions of their arguments for tiles in
+	// [0, Tiles()).
+	Tiles() int
 }
 
 // StarMesh is the paper's 2x2 star-mesh: four routers in a square, each with
@@ -345,6 +413,9 @@ var routerPos = [4][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
 
 // Routers reports 4.
 func (s StarMesh) Routers() int { return 4 }
+
+// Tiles reports the number of attached tiles.
+func (s StarMesh) Tiles() int { return s.NumTiles }
 
 // RouterOf assigns tiles to the four routers round robin.
 func (s StarMesh) RouterOf(t TileID) int { return int(t) % 4 }

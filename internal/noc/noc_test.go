@@ -208,3 +208,49 @@ func TestNoCPacketStampedAtTransmit(t *testing.T) {
 		}
 	}
 }
+
+// dynamicTopo wraps StarMesh but hides its tile count, forcing the network
+// onto the interface-call slow path for latency and routing.
+type dynamicTopo struct{ StarMesh }
+
+func (dynamicTopo) Tiles() int { return 0 }
+
+// TestFastPathTablesMatchDynamic pins the precomputed latency/router tables
+// and the multiply-based serialization against the original interface-call
+// arithmetic, over every (src, dst) pair and a spread of sizes — including a
+// bandwidth that does not divide sim.Second evenly, which must fall back to
+// the division path.
+func TestFastPathTablesMatchDynamic(t *testing.T) {
+	eng := sim.NewEngine()
+	configs := []Config{
+		DefaultConfig(), // 1.6 GB/s divides sim.Second: multiply fast path
+		{HopLatency: 15 * sim.Nanosecond, BandwidthBps: 3_000_000_007}, // prime: division path
+		{HopLatency: 7 * sim.Nanosecond}, // zero bandwidth: no serialization
+	}
+	for _, cfg := range configs {
+		topo := StarMesh{NumTiles: 12}
+		fast := New(eng, topo, cfg)
+		slow := New(eng, dynamicTopo{topo}, cfg)
+		if fast.latBase == nil || fast.routerTab == nil {
+			t.Fatalf("cfg %+v: tables not built for a sized topology", cfg)
+		}
+		if slow.latBase != nil || slow.routerTab != nil {
+			t.Fatalf("cfg %+v: tables built without a tile count", cfg)
+		}
+		for src := 0; src < topo.NumTiles; src++ {
+			if got, want := fast.routerOf(TileID(src)), topo.RouterOf(TileID(src)); got != want {
+				t.Errorf("routerOf(%d) = %d, want %d", src, got, want)
+			}
+			for dst := 0; dst < topo.NumTiles; dst++ {
+				for _, size := range []int{0, 1, 64, 113, 4096} {
+					got := fast.Latency(TileID(src), TileID(dst), size)
+					want := slow.Latency(TileID(src), TileID(dst), size)
+					if got != want {
+						t.Errorf("cfg %+v: Latency(%d,%d,%d) = %v, want %v",
+							cfg, src, dst, size, got, want)
+					}
+				}
+			}
+		}
+	}
+}

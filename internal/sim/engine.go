@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"m3v/internal/trace"
 )
@@ -9,36 +10,13 @@ import (
 // event is a scheduled callback. Events with equal timestamps execute in
 // insertion order (seq), which makes the simulation fully deterministic.
 //
-// Events are stored by value: the queue never allocates per event, only when
-// its backing arrays grow. This is the engine's hottest path — every DTU
+// Events are stored by value: the queues never allocate per event, only when
+// their backing arrays grow. This is the engine's hottest path — every DTU
 // command, NoC packet, and context switch schedules at least one event.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-}
-
-// eventQueue orders events by (at, seq) without per-event allocation. It has
-// two parts:
-//
-//   - heap: a 4-ary min-heap of value events. 4-ary beats binary here because
-//     sift-down does 3/4 fewer levels at slightly more comparisons per level,
-//     and the four children share a cache line (an event is 24 bytes).
-//   - ring: a circular FIFO for events scheduled at exactly the current time
-//     (After(0): process resumes, wakes, IRQ injection). These need no heap
-//     ordering at all — they run after every already-queued event with the
-//     same timestamp (which must have a smaller seq) and among themselves in
-//     insertion order, which the FIFO provides for free.
-//
-// The invariant making the ring sound: an event enters the ring only with
-// at == now, and the clock only advances when both structures have nothing
-// left at now, so every heap event with at == now was pushed before any
-// current ring event and therefore has a smaller seq.
-type eventQueue struct {
-	heap []event
-	ring []event // circular buffer, len is a power of two
-	head int     // ring read position
-	n    int     // ring occupancy
 }
 
 //m3v:noalloc
@@ -49,14 +27,15 @@ func evLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) len() int { return len(q.heap) + q.n }
-
-// pushHeap inserts an event with at > the ring's timestamp domain.
+// heapPush inserts an event into a 4-ary min-heap ordered by (at, seq).
+// 4-ary beats binary here because sift-down does 3/4 fewer levels at slightly
+// more comparisons per level, and the four children share a cache line (an
+// event is 24 bytes).
 //
 //m3v:noalloc
-func (q *eventQueue) pushHeap(ev event) {
+func heapPush(hp *[]event, ev event) {
 	//m3vlint:ignore noalloc backing array growth is amortized; steady state reuses capacity (see BenchmarkEngineSchedule alloc guard)
-	h := append(q.heap, ev)
+	h := append(*hp, ev)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -66,20 +45,20 @@ func (q *eventQueue) pushHeap(ev event) {
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
-	q.heap = h
+	*hp = h
 }
 
-// popHeap removes and returns the minimum heap event.
+// heapPop removes and returns the minimum heap event.
 //
 //m3v:noalloc
-func (q *eventQueue) popHeap() event {
-	h := q.heap
+func heapPop(hp *[]event) event {
+	h := *hp
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
 	h[last] = event{} // release the closure for GC
 	h = h[:last]
-	q.heap = h
+	*hp = h
 	// Sift down in the 4-ary heap.
 	i := 0
 	for {
@@ -106,74 +85,219 @@ func (q *eventQueue) popHeap() event {
 	return top
 }
 
-// pushRing appends an event scheduled at the current time. Growth lives in
-// growRing, which is deliberately left un-annotated: it is the amortized
-// cold path.
+// ringBuf is a circular FIFO for events scheduled at exactly the current
+// time (After(0): process resumes, wakes, IRQ injection). These need no
+// ordering structure at all — they run after every already-queued event with
+// the same timestamp (which must have a smaller seq) and among themselves in
+// insertion order, which the FIFO provides for free.
 //
-//m3v:noalloc
-func (q *eventQueue) pushRing(ev event) {
-	if q.n == len(q.ring) {
-		q.growRing()
-	}
-	q.ring[(q.head+q.n)&(len(q.ring)-1)] = ev
-	q.n++
+// The invariant making the ring sound: an event enters the ring only with
+// at == now, and the clock only advances when the rest of the queue has
+// nothing left at now, so every non-ring event with at == now was pushed
+// before any current ring event and therefore has a smaller seq.
+type ringBuf struct {
+	buf  []event // circular buffer, len is a power of two
+	head int     // read position
+	n    int     // occupancy
 }
 
-func (q *eventQueue) growRing() {
-	size := len(q.ring) * 2
+// push appends an event scheduled at the current time. Growth lives in grow,
+// which is deliberately left un-annotated: it is the amortized cold path.
+//
+//m3v:noalloc
+func (r *ringBuf) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+}
+
+func (r *ringBuf) grow() {
+	size := len(r.buf) * 2
 	if size == 0 {
 		size = 16
 	}
 	grown := make([]event, size)
-	for i := 0; i < q.n; i++ {
-		grown[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	for i := 0; i < r.n; i++ {
+		grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
-	q.ring = grown
-	q.head = 0
+	r.buf = grown
+	r.head = 0
 }
 
 //m3v:noalloc
-func (q *eventQueue) popRing() event {
-	ev := q.ring[q.head]
-	q.ring[q.head] = event{} // release the closure for GC
-	q.head = (q.head + 1) & (len(q.ring) - 1)
-	q.n--
+func (r *ringBuf) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{} // release the closure for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
 	return ev
 }
 
-// peekAt reports the timestamp of the next event. The queue must be
-// non-empty.
-//
-//m3v:noalloc
-func (q *eventQueue) peekAt() Time {
-	if q.n > 0 {
-		at := q.ring[q.head].at
-		if len(q.heap) > 0 && q.heap[0].at < at {
-			return q.heap[0].at
-		}
-		return at
-	}
-	return q.heap[0].at
+// pop status codes reported by popLimit.
+const (
+	popOK     = iota // an event at or before the limit was popped
+	popEmpty         // the queue is empty
+	popBeyond        // the next event lies beyond the limit
+)
+
+// heapQueue orders events by (at, seq) without per-event allocation: a 4-ary
+// min-heap of value events plus the same-time ring. It is the original
+// scheduler, kept behind -sched=heap as the differential-testing reference
+// for the timing wheel (see wheel.go).
+type heapQueue struct {
+	heap []event
+	ring ringBuf
 }
 
-// pop removes and returns the event with the smallest (at, seq). The queue
-// must be non-empty.
+//m3v:noalloc
+func (q *heapQueue) len() int { return len(q.heap) + q.ring.n }
+
+// schedule inserts an event with at >= now.
 //
 //m3v:noalloc
-func (q *eventQueue) pop() event {
-	if q.n == 0 {
-		return q.popHeap()
+func (q *heapQueue) schedule(ev event, now Time) {
+	if ev.at == now {
+		q.ring.push(ev)
+		return
+	}
+	heapPush(&q.heap, ev)
+}
+
+// popNext removes and returns the event with the smallest (at, seq).
+//
+//m3v:noalloc
+func (q *heapQueue) popNext() (event, bool) {
+	if q.ring.n == 0 {
+		if len(q.heap) == 0 {
+			return event{}, false
+		}
+		return heapPop(&q.heap), true
 	}
 	if len(q.heap) == 0 {
-		return q.popRing()
+		return q.ring.pop(), true
 	}
 	// Both non-empty: full (at, seq) comparison. By the ring invariant the
 	// heap wins ties on at, but comparing seq keeps this robust.
-	if evLess(&q.heap[0], &q.ring[q.head]) {
-		return q.popHeap()
+	if evLess(&q.heap[0], &q.ring.buf[q.ring.head]) {
+		return heapPop(&q.heap), true
 	}
-	return q.popRing()
+	return q.ring.pop(), true
 }
+
+// popSeq pops and discards the minimum event iff it is exactly the event
+// with the given seq and its timestamp is <= limit. This backs the Sleep
+// self-resume fast path (see Proc.Sleep): the caller knows the event's fn
+// is its own cached resume closure, so the event need not be returned.
+//
+//m3v:noalloc
+func (q *heapQueue) popSeq(seq uint64, limit Time) (Time, bool) {
+	var min *event
+	if q.ring.n > 0 {
+		min = &q.ring.buf[q.ring.head]
+	}
+	if len(q.heap) > 0 && (min == nil || evLess(&q.heap[0], min)) {
+		min = &q.heap[0]
+	}
+	if min == nil || min.seq != seq || min.at > limit {
+		return 0, false
+	}
+	at := min.at
+	if len(q.heap) > 0 && min == &q.heap[0] {
+		heapPop(&q.heap)
+	} else {
+		q.ring.pop()
+	}
+	return at, true
+}
+
+// popLimit pops the minimum event if its timestamp is <= limit.
+//
+//m3v:noalloc
+func (q *heapQueue) popLimit(limit Time) (event, int) {
+	var min *event
+	if q.ring.n > 0 {
+		min = &q.ring.buf[q.ring.head]
+	}
+	if len(q.heap) > 0 && (min == nil || evLess(&q.heap[0], min)) {
+		min = &q.heap[0]
+	}
+	if min == nil {
+		return event{}, popEmpty
+	}
+	if min.at > limit {
+		return event{}, popBeyond
+	}
+	if len(q.heap) > 0 && min == &q.heap[0] {
+		return heapPop(&q.heap), popOK
+	}
+	return q.ring.pop(), popOK
+}
+
+// SchedKind selects the engine's event-queue implementation.
+type SchedKind uint8
+
+// Scheduler kinds. SchedWheel is the hierarchical timing wheel tuned to the
+// simulator's delay distribution (the default); SchedHeap is the original
+// 4-ary min-heap, kept as an escape hatch and differential-testing reference.
+const (
+	SchedDefault SchedKind = iota // resolve to the process-wide default
+	SchedWheel
+	SchedHeap
+)
+
+// String reports the scheduler name as accepted by ParseSched.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedWheel:
+		return "wheel"
+	case SchedHeap:
+		return "heap"
+	default:
+		return "default"
+	}
+}
+
+// ParseSched parses a -sched flag value.
+func ParseSched(s string) (SchedKind, error) {
+	switch s {
+	case "wheel":
+		return SchedWheel, nil
+	case "heap":
+		return SchedHeap, nil
+	default:
+		return SchedDefault, fmt.Errorf("unknown scheduler %q (want wheel or heap)", s)
+	}
+}
+
+// defaultSched is the process-wide scheduler default, read by every
+// NewEngine call. Atomic because experiment sweeps build engines from worker
+// goroutines while the default stays fixed; stored as int32 for the atomic.
+var defaultSched atomic.Int32
+
+// SetDefaultScheduler sets the scheduler used by engines constructed with
+// NewEngine (or NewEngineSched(SchedDefault)). SchedDefault restores the
+// built-in default (the timing wheel).
+func SetDefaultScheduler(k SchedKind) { defaultSched.Store(int32(k)) }
+
+// DefaultScheduler reports the current process-wide scheduler default.
+func DefaultScheduler() SchedKind {
+	if k := SchedKind(defaultSched.Load()); k != SchedDefault {
+		return k
+	}
+	return SchedWheel
+}
+
+// totalExecuted counts events executed by every engine in the process. The
+// bench harness reads it around experiments to report scheduler throughput
+// (events_executed / events_per_sec in the m3vbench/v2 report); atomic
+// because sweep points run engines on worker goroutines.
+var totalExecuted atomic.Uint64
+
+// TotalEventsExecuted reports the number of events executed across all
+// engines of the process since start.
+func TotalEventsExecuted() uint64 { return totalExecuted.Load() }
 
 // Engine is a discrete-event simulation kernel. The zero value is not usable;
 // construct with NewEngine.
@@ -186,29 +310,53 @@ func (q *eventQueue) pop() event {
 //
 // The engine guarantees that at most one of these is active at any moment.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	parked  chan struct{} // a process hands control back to the engine
-	dead    chan struct{} // closed by Shutdown to unwind parked processes
-	stopped bool
-	running bool
-	live    int // number of spawned, not yet finished processes
-	tracer  func(Time, string)
+	now      Time
+	seq      uint64
+	useWheel bool
+	wq       wheelQueue
+	hq       heapQueue
+	parked   chan struct{} // a process hands control back to the engine
+	dead     bool          // set by Shutdown; unwinds woken processes
+	procs    []*Proc       // spawned, not yet finished processes
+	stopped  bool
+	running  bool
+	limit    Time  // bound of the active dispatch loop (MaxTime for Run)
+	inlined  int64 // events consumed by the Sleep fast path since last flush
+	tracer   func(Time, string)
 
 	rec    *trace.Recorder
 	evExec *trace.Counter
 }
 
-// NewEngine returns a ready-to-use engine at time zero.
-func NewEngine() *Engine {
-	rec := trace.NewRecorder()
-	return &Engine{
-		parked: make(chan struct{}),
-		dead:   make(chan struct{}),
-		rec:    rec,
-		evExec: rec.Metrics().Counter("sim.events_executed"),
+// NewEngine returns a ready-to-use engine at time zero, using the
+// process-wide default scheduler (see SetDefaultScheduler).
+func NewEngine() *Engine { return NewEngineSched(SchedDefault) }
+
+// NewEngineSched returns a ready-to-use engine at time zero with the given
+// event scheduler. SchedDefault resolves to the process-wide default.
+func NewEngineSched(kind SchedKind) *Engine {
+	if kind == SchedDefault {
+		kind = DefaultScheduler()
 	}
+	rec := trace.NewRecorder()
+	e := &Engine{
+		useWheel: kind == SchedWheel,
+		parked:   make(chan struct{}),
+		rec:      rec,
+		evExec:   rec.Metrics().Counter("sim.events_executed"),
+	}
+	if e.useWheel {
+		e.wq.init()
+	}
+	return e
+}
+
+// Scheduler reports the engine's event-queue implementation.
+func (e *Engine) Scheduler() SchedKind {
+	if e.useWheel {
+		return SchedWheel
+	}
+	return SchedHeap
 }
 
 // Now reports the current simulated time.
@@ -239,7 +387,7 @@ func (e *Engine) trace(format string, args ...interface{}) {
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would violate causality. Steady-state scheduling is allocation-free:
-// events are stored by value and the queue's arrays are reused across pops.
+// events are stored by value and the queues' arrays are reused across pops.
 //
 //m3v:noalloc
 func (e *Engine) At(t Time, fn func()) {
@@ -247,11 +395,11 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
 	}
 	e.seq++
-	if t == e.now {
-		e.queue.pushRing(event{at: t, seq: e.seq, fn: fn})
+	if e.useWheel {
+		e.wq.schedule(event{at: t, seq: e.seq, fn: fn}, e.now)
 		return
 	}
-	e.queue.pushHeap(event{at: t, seq: e.seq, fn: fn})
+	e.hq.schedule(event{at: t, seq: e.seq, fn: fn}, e.now)
 }
 
 // After schedules fn to run d after the current time.
@@ -264,8 +412,40 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called. It returns
-// the simulated time at which it stopped.
-func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+// the simulated time at which it stopped. Unlike RunUntil, the dispatch loop
+// carries no bound check at all: with the limit pinned at MaxTime every
+// queued event is eligible, so the per-event "next beyond limit?" test of the
+// bounded loop is dead weight and is skipped.
+func (e *Engine) Run() Time {
+	e.enter()
+	//m3vlint:ignore noalloc one closure per Run call, not per event; the dispatch loop below is the guarded path
+	defer e.leave()
+	e.limit = MaxTime
+	var executed int64
+	if e.useWheel {
+		for !e.stopped {
+			ev, ok := e.wq.popNext()
+			if !ok {
+				break
+			}
+			e.now = ev.at
+			executed++
+			ev.fn()
+		}
+	} else {
+		for !e.stopped {
+			ev, ok := e.hq.popNext()
+			if !ok {
+				break
+			}
+			e.now = ev.at
+			executed++
+			ev.fn()
+		}
+	}
+	e.flush(executed)
+	return e.now
+}
 
 // RunUntil executes events with timestamps <= limit, then returns. The
 // engine's clock advances to the timestamp of the last executed event (or to
@@ -275,33 +455,120 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 //
 //m3v:noalloc
 func (e *Engine) RunUntil(limit Time) Time {
+	if limit == MaxTime {
+		// "Run to completion" calls land here; take the unbounded loop,
+		// which skips the per-event bound check entirely.
+		return e.Run()
+	}
+	e.enter()
+	//m3vlint:ignore noalloc one closure per RunUntil call, not per event; the dispatch loop below is the guarded path
+	defer e.leave()
+	e.limit = limit
+	var executed int64
+	if e.useWheel {
+		for !e.stopped {
+			ev, st := e.wq.popLimit(limit)
+			if st != popOK {
+				if st == popBeyond && limit > e.now {
+					e.now = limit
+				}
+				break
+			}
+			e.now = ev.at
+			executed++
+			ev.fn()
+		}
+	} else {
+		for !e.stopped {
+			ev, st := e.hq.popLimit(limit)
+			if st != popOK {
+				if st == popBeyond && limit > e.now {
+					e.now = limit
+				}
+				break
+			}
+			e.now = ev.at
+			executed++
+			ev.fn()
+		}
+	}
+	e.flush(executed)
+	return e.now
+}
+
+//m3v:noalloc
+func (e *Engine) enter() {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
 	e.stopped = false
-	//m3vlint:ignore noalloc one closure per RunUntil call, not per event; the dispatch loop below is the guarded path
-	defer func() { e.running = false }()
-	for !e.stopped && e.queue.len() > 0 {
-		if e.queue.peekAt() > limit {
-			if limit > e.now {
-				e.now = limit
-			}
-			return e.now
-		}
-		ev := e.queue.pop()
-		e.now = ev.at
-		e.evExec.Inc()
-		ev.fn()
+}
+
+//m3v:noalloc
+func (e *Engine) leave() { e.running = false }
+
+// flush publishes the dispatch loop's event count: once into the engine's
+// metrics registry and once into the process-wide throughput total. Batched
+// at loop exit instead of per event so the hot loop touches no counters.
+// Events consumed by the Sleep fast path (popSelf) are folded in here, so
+// events_executed counts them exactly as if the loop had dispatched them.
+//
+//m3v:noalloc
+func (e *Engine) flush(executed int64) {
+	executed += e.inlined
+	e.inlined = 0
+	if executed != 0 {
+		e.evExec.Add(executed)
+		totalExecuted.Add(uint64(executed))
 	}
-	return e.now
+}
+
+// popSelf is the Sleep self-resume fast path. The calling process has just
+// scheduled its own resume as event seq; if that event is the queue's next
+// eligible event (true (at, seq) minimum, within the active loop's bound,
+// and the loop was not stopped), consume it inline and advance the clock —
+// the yield/resume goroutine hand-off through the engine is skipped
+// entirely. This is exact, not an approximation: the resume event's only
+// effect is to transfer control back to the sleeping process, which staying
+// on its goroutine achieves identically, and dispatch order is untouched
+// because only the true minimum is ever consumed. Both schedulers share the
+// path, so heap/wheel differential runs stay bit-identical.
+//
+// Called from process context only: the engine goroutine is blocked in
+// resume at this point, so mutating the queue and clock here is ordered by
+// the wake/parked channel hand-offs.
+//
+//m3v:noalloc
+func (e *Engine) popSelf(seq uint64) bool {
+	if e.stopped {
+		return false
+	}
+	var at Time
+	var ok bool
+	if e.useWheel {
+		at, ok = e.wq.popSeq(seq, e.limit)
+	} else {
+		at, ok = e.hq.popSeq(seq, e.limit)
+	}
+	if !ok {
+		return false
+	}
+	e.now = at
+	e.inlined++
+	return true
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.queue.len() }
+func (e *Engine) Pending() int {
+	if e.useWheel {
+		return e.wq.len()
+	}
+	return e.hq.len()
+}
 
 // Live reports the number of spawned processes that have not finished.
-func (e *Engine) Live() int { return e.live }
+func (e *Engine) Live() int { return len(e.procs) }
 
 // Shutdown unwinds all parked process goroutines. It must be called after Run
 // has returned (never from handler or process context). The engine is dead
@@ -310,10 +577,16 @@ func (e *Engine) Shutdown() {
 	if e.running {
 		panic("sim: Shutdown during Run")
 	}
-	close(e.dead)
-	// Parked processes wake from their select, panic with errShutdown, and
-	// are recovered by the Spawn wrapper without handing control back. No
-	// synchronization is required here: they no longer touch engine state.
+	e.dead = true
+	// Every live process goroutine is blocked in waitWake (the engine is not
+	// running, so none is executing). Wake each one; it observes e.dead,
+	// panics with shutdownError, and is recovered by the Spawn wrapper
+	// without handing control back. The dead flag is published by the
+	// channel send's happens-before edge.
+	for _, p := range e.procs {
+		p.wake <- struct{}{}
+	}
+	e.procs = nil
 }
 
 // errShutdown is the sentinel used to unwind process goroutines at Shutdown.

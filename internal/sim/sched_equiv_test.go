@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+)
+
+// dispatchRec is one executed event as observed by the equivalence driver.
+type dispatchRec struct {
+	at  Time
+	seq uint64
+}
+
+// driveSchedule decodes the fuzz input into a schedule of At/After/RunUntil
+// operations, runs it on a fresh engine with the given scheduler, and
+// returns the dispatch order as (at, seq) records. The decoding exercises
+// every queue region of the timing wheel:
+//
+//   - low bytes schedule short deltas (0..63ns): level-0 slots and, from
+//     handler context, the same-time ring and the sorted cur run (deltas
+//     below the already-drained slot horizon);
+//   - 0x80-prefixed bytes schedule scaled deltas up to beyond level 3's
+//     17.6s window: coarse levels, cascading, and the overflow heap;
+//   - 0xC0-prefixed bytes advance a RunUntil limit and drain up to it,
+//     interleaving pops with later pushes (re-anchoring, behind-horizon
+//     inserts).
+func driveSchedule(kind SchedKind, data []byte) []dispatchRec {
+	e := NewEngineSched(kind)
+	var out []dispatchRec
+	var schedule func(d Time, follow byte)
+	schedule = func(d Time, follow byte) {
+		seq := e.seq + 1 // At assigns the next sequence number
+		e.After(d, func() {
+			out = append(out, dispatchRec{e.Now(), seq})
+			if follow&0x01 != 0 {
+				schedule(0, 0) // same-time ring
+			}
+			if follow&0x02 != 0 {
+				schedule(Nanosecond, 0) // sub-slot delta: cur insert on the wheel
+			}
+			if follow&0x04 != 0 {
+				schedule(100*Nanosecond, 0)
+			}
+		})
+	}
+	var limit Time
+	for _, b := range data {
+		switch b & 0xC0 {
+		case 0xC0:
+			// Drain up to a moving limit; later bytes keep pushing after the
+			// wheel re-anchors.
+			limit += Time(b&0x3F+1) * 50 * Nanosecond
+			e.RunUntil(limit)
+		case 0x80:
+			// Scaled far-future delta: shift 20/28/36/44 selects wheel levels
+			// 1..3 and, at the top, the overflow heap.
+			shift := 20 + uint(b&0x30)>>4*8
+			e.After(Time(int64(b&0x0F+1)<<shift), func() {
+				out = append(out, dispatchRec{e.Now(), e.seq})
+			})
+		default:
+			schedule(Time(b&0x3F)*Nanosecond, b>>3)
+		}
+	}
+	e.Run()
+	return out
+}
+
+// FuzzQueueEquivalence is the differential fuzz target for the scheduler
+// swap: any interleaving of At/After/RunUntil operations must dispatch in
+// exactly the same (at, seq) order under the heap queue and the timing
+// wheel. This is the property that keeps trace hashes, flow spans, fault
+// schedules, and the golden figures bit-identical across -sched values.
+func FuzzQueueEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 9, 17, 25, 33, 41, 49, 57})             // spread over L0 slots
+	f.Add([]byte{0x0B, 0x13, 0x0B, 0xC1, 0x0B, 0x13})       // follow-ups + drain step
+	f.Add([]byte{0x80, 0x91, 0xA2, 0xB3, 0x01, 0xC4, 0x01}) // all coarse levels + overflow
+	f.Add([]byte{0xBF, 0x01, 0xC1, 0x01, 0xBF, 0xC1})       // overflow heap vs near events
+	f.Add([]byte{0xC1, 0x3F, 0xC1, 0x3F, 0xC1})             // re-anchor after drains
+	f.Add([]byte{0x1F, 0x1F, 0x1F, 0x1F, 0xC2, 0x9F, 0x0F}) // cascade with pending cur
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		heap := driveSchedule(SchedHeap, data)
+		wheel := driveSchedule(SchedWheel, data)
+		if len(heap) != len(wheel) {
+			t.Fatalf("dispatch count differs: heap %d, wheel %d", len(heap), len(wheel))
+		}
+		for i := range heap {
+			if heap[i] != wheel[i] {
+				t.Fatalf("dispatch %d differs: heap (%v, %d), wheel (%v, %d)",
+					i, heap[i].at, heap[i].seq, wheel[i].at, wheel[i].seq)
+			}
+		}
+		// The common order must itself be a valid (at, seq) total order.
+		for i := 1; i < len(heap); i++ {
+			a, b := heap[i-1], heap[i]
+			if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+				t.Fatalf("order violated at %d: (%v,%d) before (%v,%d)",
+					i, a.at, a.seq, b.at, b.seq)
+			}
+		}
+	})
+}
