@@ -13,10 +13,18 @@ go vet ./...
 
 echo "== m3vlint =="
 # Project-specific invariants: determinism (detmap, walltime), hot-path
-# allocation discipline (noalloc), and metric/span naming (metricname,
-# spanname). Any diagnostic fails the gate; suppressions need
-# //m3vlint:ignore with a reason.
+# allocation discipline including transitive call chains (noalloc), the
+# non-blocking simulation context (simblock), span begin/end balance
+# (spanleak), and metric/span naming (metricname, spanname). Any diagnostic
+# fails the gate; suppressions need //m3vlint:ignore with a reason, and
+# stale suppressions are themselves findings.
 go run ./cmd/m3vlint ./...
+
+echo "== m3vlint self =="
+# The analyzer suite must hold itself to the same invariants: a subset run
+# over the analysis packages (loading the rest of the module from export
+# data, the same way editors lint single packages) has to come back clean.
+go run ./cmd/m3vlint ./internal/analysis/...
 
 echo "== go build =="
 go build ./...

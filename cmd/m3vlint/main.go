@@ -1,6 +1,6 @@
 // m3vlint is the project's static analyzer suite: it enforces the
-// simulator's determinism, no-alloc, and metric-naming invariants on every
-// CI run (see internal/analysis). Usage:
+// simulator's determinism, no-alloc, simulation-context, span-balance, and
+// naming invariants on every CI run (see internal/analysis). Usage:
 //
 //	go run ./cmd/m3vlint ./...
 //
@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"m3v/internal/analysis"
@@ -18,47 +20,82 @@ import (
 	"m3v/internal/analysis/suite"
 )
 
+// jsonFinding is the -json wire shape: one object per line, stable field
+// order, so CI can stream-parse findings without scraping the text form.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: m3vlint [-doc] [packages]\n\n"+
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit: arguments, the directory
+// package patterns resolve against, and both output streams. It returns
+// the process exit code.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("m3vlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doc := fs.Bool("doc", false, "print each analyzer's documentation and exit")
+	asJSON := fs.Bool("json", false, "emit findings as JSON, one object per line")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: m3vlint [-doc] [-json] [packages]\n\n"+
 			"Runs the m3v analyzer suite (")
 		for i, a := range suite.Analyzers {
 			if i > 0 {
-				fmt.Fprint(os.Stderr, ", ")
+				fmt.Fprint(stderr, ", ")
 			}
-			fmt.Fprint(os.Stderr, a.Name)
+			fmt.Fprint(stderr, a.Name)
 		}
-		fmt.Fprintf(os.Stderr, ") over the given package patterns (default ./...).\n")
-		flag.PrintDefaults()
+		fmt.Fprintf(stderr, ") over the given package patterns (default ./...).\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *doc {
 		for _, a := range suite.Analyzers {
-			fmt.Printf("%s:\n%s\n\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%s:\n%s\n\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	units, err := load.Packages(".", patterns...)
+	units, err := load.Packages(dir, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "m3vlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "m3vlint: %v\n", err)
+		return 2
 	}
 	findings, err := analysis.Run(units, suite.Analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "m3vlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "m3vlint: %v\n", err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: f.Analyzer,
+				Pos:      f.Pos.String(),
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "m3vlint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

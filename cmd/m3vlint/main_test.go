@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const modfile = "module lintfixture\n\ngo 1.22\n"
+
+// writeModule materializes a throwaway module for run() to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, dir, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a.go":   "package lintfixture\n\nfunc Tidy() int { return 1 }\n",
+	})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+func TestRunFindingExitsOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a.go": "package lintfixture\n\n" +
+			"//m3v:noalloc\n" +
+			"func Hot() []int {\n\treturn make([]int, 8)\n}\n",
+	})
+	code, stdout, stderr := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "//m3v:noalloc function Hot") || !strings.Contains(stdout, "[noalloc]") {
+		t.Errorf("finding not reported as expected:\n%s", stdout)
+	}
+}
+
+func TestRunBrokenPackageExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a.go":   "package lintfixture\n\nfunc Broken() { undefinedIdent() }\n",
+	})
+	code, _, stderr := runIn(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "m3vlint:") {
+		t.Errorf("failure not reported on stderr:\n%s", stderr)
+	}
+}
+
+func TestRunBadPatternExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": modfile})
+	code, _, stderr := runIn(t, dir, "./nosuchdir")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": modfile})
+	code, _, _ := runIn(t, dir, "-nosuchflag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunDocExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": modfile})
+	code, stdout, _ := runIn(t, dir, "-doc")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"noalloc", "simblock", "spanleak"} {
+		if !strings.Contains(stdout, name+":") {
+			t.Errorf("-doc output missing analyzer %q", name)
+		}
+	}
+}
+
+// TestRunJSONGolden pins the -json wire shape: one JSON object per line
+// with exactly the analyzer/pos/message fields, still exit 1 on findings.
+func TestRunJSONGolden(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a.go": "package lintfixture\n\n" +
+			"//m3v:noalloc\n" +
+			"func Hot() []int {\n\treturn make([]int, 8)\n}\n",
+	})
+	code, stdout, stderr := runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSuffix(stdout, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d JSON lines, want 1:\n%s", len(lines), stdout)
+	}
+	var got struct {
+		Analyzer string `json:"analyzer"`
+		Pos      string `json:"pos"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	var extra map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &extra); err != nil {
+		t.Fatal(err)
+	}
+	if len(extra) != 3 {
+		t.Errorf("JSON object has %d fields, want exactly analyzer/pos/message: %s", len(extra), lines[0])
+	}
+	if got.Analyzer != "noalloc" {
+		t.Errorf("analyzer = %q, want \"noalloc\"", got.Analyzer)
+	}
+	if want := "a.go:5:9"; !strings.HasSuffix(got.Pos, want) {
+		t.Errorf("pos = %q, want suffix %q", got.Pos, want)
+	}
+	if want := "make allocates in //m3v:noalloc function Hot"; got.Message != want {
+		t.Errorf("message = %q, want %q", got.Message, want)
+	}
+}

@@ -44,6 +44,14 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
+	// RunModule, if set, runs once after Run has been applied to every
+	// package of the driver invocation. It is the hook for interprocedural
+	// analyses (transitive noalloc, simblock reachability): per-package Run
+	// calls accumulate facts into the analyzer's Store, RunModule resolves
+	// them over the whole module. Diagnostics it reports are attributed to
+	// the file containing their position and pass through the same ignore
+	// directives as per-package findings.
+	RunModule func(*ModulePass) (interface{}, error)
 }
 
 // A Pass provides one analyzer with the parsed, type-checked view of a
@@ -65,6 +73,33 @@ type Pass struct {
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A ModulePass provides an analyzer's RunModule with the whole-module view:
+// every unit of the driver invocation (all sharing one FileSet) plus the
+// Store the per-package Run calls populated.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+	Store    map[string]interface{}
+	// Report delivers one diagnostic; the driver attributes it to the unit
+	// containing its position for suppression filtering.
+	Report func(Diagnostic)
+	// Suppressed consults the ignore directives covering pos for this
+	// analyzer's name, marking any match as used. Interprocedural analyses
+	// call it for *internal* decisions — e.g. transitive noalloc treats a
+	// directive-suppressed allocation witness inside an unannotated helper
+	// as justified — so such directives count as live in the
+	// stale-suppression audit even though no diagnostic was reported at
+	// them. Reported diagnostics are filtered by the driver; callers need
+	// Suppressed only for facts that never become diagnostics.
+	Suppressed func(pos token.Pos) bool
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
@@ -126,6 +161,10 @@ const (
 	// NoAllocMarker annotates a function whose body the noalloc analyzer
 	// checks.
 	NoAllocMarker = "m3v:noalloc"
+	// SimCtxMarker annotates a simulation-context root: a function from
+	// which the simblock analyzer's reachability starts (engine dispatch,
+	// process block/wake, DTU/NoC handlers).
+	SimCtxMarker = "m3v:simctx"
 )
 
 // An ignoreDirective is one parsed //m3vlint:ignore comment.
@@ -170,34 +209,78 @@ func (d *ignoreDirective) covers(name string, line int) bool {
 	return false
 }
 
+// Directives is the parsed, well-formed ignore-directive set of one unit's
+// files, with per-directive use tracking for the stale-suppression audit.
+// Reasonless and malformed directives are excluded (CheckDirectives reports
+// them; they suppress nothing).
+type Directives struct {
+	fset *token.FileSet
+	dirs []ignoreDirective
+	used []bool
+}
+
+// ParseDirectives collects every well-formed ignore directive of the files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset}
+	for _, f := range files {
+		for _, dir := range parseIgnores(fset, f) {
+			if dir.reason != "" && len(dir.names) > 0 {
+				d.dirs = append(d.dirs, dir)
+			}
+		}
+	}
+	d.used = make([]bool, len(d.dirs))
+	return d
+}
+
+// Suppressed reports whether a directive for the named analyzer covers pos,
+// marking the first match as used.
+func (d *Directives) Suppressed(name string, pos token.Pos) bool {
+	line := d.fset.Position(pos).Line
+	for i := range d.dirs {
+		if d.dirs[i].covers(name, line) {
+			d.used[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops diagnostics suppressed by a directive for the named
+// analyzer, marking the consumed directives as used.
+func (d *Directives) Filter(name string, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, dg := range diags {
+		if !d.Suppressed(name, dg.Pos) {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// Unused reports one diagnostic per directive that suppressed nothing over
+// the whole run: a stale suppression either outlived the finding it
+// justified or spells an analyzer name that reports nothing there, and
+// silently masks the next regression on that line. Reasonless directives
+// are not reported here — CheckDirectives already flags them.
+func (d *Directives) Unused() []Diagnostic {
+	var out []Diagnostic
+	for i := range d.dirs {
+		if !d.used[i] {
+			out = append(out, Diagnostic{Pos: d.dirs[i].pos, Message: fmt.Sprintf(
+				"stale suppression: //m3vlint:ignore %s directive suppressed no findings; delete it",
+				strings.Join(d.dirs[i].names, ","))})
+		}
+	}
+	return out
+}
+
 // Filter drops diagnostics suppressed by a well-formed ignore directive for
 // the named analyzer. A directive suppresses findings on its own line and on
 // the line immediately below it. Directives without a reason suppress
 // nothing (CheckDirectives reports them).
 func Filter(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
-	var dirs []ignoreDirective
-	for _, f := range files {
-		for _, d := range parseIgnores(fset, f) {
-			if d.reason != "" {
-				dirs = append(dirs, d)
-			}
-		}
-	}
-	kept := diags[:0]
-	for _, dg := range diags {
-		line := fset.Position(dg.Pos).Line
-		suppressed := false
-		for i := range dirs {
-			if dirs[i].covers(name, line) {
-				suppressed = true
-				break
-			}
-		}
-		if !suppressed {
-			kept = append(kept, dg)
-		}
-	}
-	return kept
+	return ParseDirectives(fset, files).Filter(name, diags)
 }
 
 // CheckDirectives validates the grammar of every ignore directive in the
@@ -245,14 +328,27 @@ type Unit struct {
 }
 
 // Run applies every analyzer to every unit, in sorted import-path order,
-// applies ignore directives, validates directive grammar, and returns the
-// surviving findings sorted by position.
+// then runs each analyzer's module pass (if any) over the whole unit set,
+// applies ignore directives, validates directive grammar, audits for stale
+// suppressions, and returns the surviving findings sorted by position.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 	sorted := append([]*Unit(nil), units...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
 	stores := make(map[*Analyzer]map[string]interface{}, len(analyzers))
 	for _, a := range analyzers {
 		stores[a] = map[string]interface{}{}
+	}
+	// Directives are parsed once per unit and shared by every analyzer (and
+	// the module passes), so the audit below sees each directive's use
+	// across the whole run. byFile maps a diagnostic's filename back to the
+	// unit that owns it, for attributing module-pass findings.
+	dirs := make(map[*Unit]*Directives, len(sorted))
+	byFile := map[string]*Unit{}
+	for _, u := range sorted {
+		dirs[u] = ParseDirectives(u.Fset, u.Files)
+		for _, f := range u.Files {
+			byFile[u.Fset.Position(f.Pos()).Filename] = u
+		}
 	}
 	var findings []Finding
 	for _, u := range sorted {
@@ -275,11 +371,54 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.Path, err)
 			}
-			for _, dg := range Filter(u.Fset, u.Files, a.Name, diags) {
+			for _, dg := range dirs[u].Filter(a.Name, diags) {
 				findings = append(findings, Finding{
 					Analyzer: a.Name, Pos: u.Fset.Position(dg.Pos), Message: dg.Message,
 				})
 			}
+		}
+	}
+	if len(sorted) > 0 {
+		fset := sorted[0].Fset
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			var diags []Diagnostic
+			mp := &ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Units:    sorted,
+				Store:    stores[a],
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+				Suppressed: func(pos token.Pos) bool {
+					if u := byFile[fset.Position(pos).Filename]; u != nil {
+						return dirs[u].Suppressed(a.Name, pos)
+					}
+					return false
+				},
+			}
+			if _, err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("%s: module pass: %v", a.Name, err)
+			}
+			for _, dg := range diags {
+				u := byFile[fset.Position(dg.Pos).Filename]
+				if u != nil && dirs[u].Suppressed(a.Name, dg.Pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name, Pos: fset.Position(dg.Pos), Message: dg.Message,
+				})
+			}
+		}
+	}
+	// Stale-suppression audit: every directive must have earned its keep in
+	// this run.
+	for _, u := range sorted {
+		for _, dg := range dirs[u].Unused() {
+			findings = append(findings, Finding{
+				Analyzer: "m3vlint", Pos: u.Fset.Position(dg.Pos), Message: dg.Message,
+			})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -298,16 +437,21 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
-// HasNoAllocMarker reports whether the function declaration carries the
-// //m3v:noalloc annotation in its doc comment group.
-func HasNoAllocMarker(decl *ast.FuncDecl) bool {
+// HasMarker reports whether the function declaration carries the given
+// //-style annotation (NoAllocMarker, SimCtxMarker) in its doc comment
+// group.
+func HasMarker(decl *ast.FuncDecl, marker string) bool {
 	if decl.Doc == nil {
 		return false
 	}
 	for _, c := range decl.Doc.List {
-		if strings.TrimPrefix(c.Text, "//") == NoAllocMarker {
+		if strings.TrimPrefix(c.Text, "//") == marker {
 			return true
 		}
 	}
 	return false
 }
+
+// HasNoAllocMarker reports whether the function declaration carries the
+// //m3v:noalloc annotation in its doc comment group.
+func HasNoAllocMarker(decl *ast.FuncDecl) bool { return HasMarker(decl, NoAllocMarker) }

@@ -88,6 +88,73 @@ func f() {
 	}
 }
 
+func TestUnusedDirectivesReported(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	//m3vlint:ignore detmap this one suppresses a finding
+	_ = 1
+	//m3vlint:ignore noalloc this one suppresses nothing and is stale
+	_ = 2
+	//m3vlint:ignore walltime
+	_ = 3
+}
+`)
+	d := ParseDirectives(fset, files)
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(5)
+		return false
+	})
+	if kept := d.Filter("detmap", []Diagnostic{{Pos: pos, Message: "x"}}); len(kept) != 0 {
+		t.Fatalf("detmap directive should suppress the line-5 finding")
+	}
+	unused := d.Unused()
+	if len(unused) != 1 {
+		t.Fatalf("want exactly the stale noalloc directive reported, got %d: %v", len(unused), unused)
+	}
+	if got := fset.Position(unused[0].Pos).Line; got != 6 {
+		t.Errorf("stale directive reported at line %d, want 6", got)
+	}
+	if !strings.Contains(unused[0].Message, "stale suppression") ||
+		!strings.Contains(unused[0].Message, "noalloc") {
+		t.Errorf("message should name the stale analyzer: %s", unused[0].Message)
+	}
+	// The reasonless walltime directive is CheckDirectives' business, not
+	// the audit's.
+	if strings.Contains(unused[0].Message, "walltime") {
+		t.Errorf("reasonless directive must not appear in the audit: %s", unused[0].Message)
+	}
+}
+
+func TestSuppressedMarksUse(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	//m3vlint:ignore noalloc justified helper growth
+	_ = 1
+}
+`)
+	d := ParseDirectives(fset, files)
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(5)
+		return false
+	})
+	if d.Suppressed("detmap", pos) {
+		t.Fatal("directive must only cover its named analyzer")
+	}
+	if len(d.Unused()) != 1 {
+		t.Fatal("unconsumed directive should be reported as stale")
+	}
+	if !d.Suppressed("noalloc", pos) {
+		t.Fatal("directive should cover a noalloc query on the next line")
+	}
+	if len(d.Unused()) != 0 {
+		t.Fatal("a Suppressed hit must mark the directive used")
+	}
+}
+
 func TestPolicyHelpers(t *testing.T) {
 	for _, p := range DeterministicPkgs {
 		if !IsDeterministic(p) {

@@ -45,7 +45,12 @@ import (
 // under <testdata>/src) and verifies the diagnostics against the fixtures'
 // want comments. All packages of one call share the analyzer's Store, so
 // module-wide properties (metricname uniqueness) can be exercised across
-// fixture packages.
+// fixture packages. After the per-package passes the analyzer's module
+// pass (if any) runs over all loaded fixtures, mirroring the driver:
+// module diagnostics are attributed to the fixture file containing their
+// position and filtered through that fixture's ignore directives. Stale
+// directives — ones that suppressed nothing across the whole run — are
+// reported too, so fixtures can pin the audit.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	ld, err := newLoader(testdata)
@@ -53,10 +58,23 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		t.Fatalf("analysistest: %v", err)
 	}
 	store := map[string]interface{}{}
+	type unitState struct {
+		path  string
+		pkg   *fixturePkg
+		dirs  *analysis.Directives
+		diags []analysis.Diagnostic
+	}
+	var states []*unitState
+	var units []*analysis.Unit
+	byFile := map[string]*unitState{}
 	for _, path := range paths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
+		}
+		st := &unitState{path: path, pkg: pkg, dirs: analysis.ParseDirectives(ld.fset, pkg.files)}
+		for _, f := range pkg.files {
+			byFile[ld.fset.Position(f.Pos()).Filename] = st
 		}
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
@@ -71,9 +89,47 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("analysistest: %s: %s: %v", a.Name, path, err)
 		}
-		diags = analysis.Filter(ld.fset, pkg.files, a.Name, diags)
-		diags = append(diags, analysis.CheckDirectives(ld.fset, pkg.files)...)
-		check(t, ld.fset, pkg.files, path, diags)
+		st.diags = st.dirs.Filter(a.Name, diags)
+		states = append(states, st)
+		units = append(units, &analysis.Unit{
+			Path: path, Fset: ld.fset, Files: pkg.files, Pkg: pkg.types, Info: pkg.info,
+		})
+	}
+	if a.RunModule != nil {
+		var mdiags []analysis.Diagnostic
+		mp := &analysis.ModulePass{
+			Analyzer: a,
+			Fset:     ld.fset,
+			Units:    units,
+			Store:    store,
+			Report:   func(d analysis.Diagnostic) { mdiags = append(mdiags, d) },
+			Suppressed: func(pos token.Pos) bool {
+				if st := byFile[ld.fset.Position(pos).Filename]; st != nil {
+					return st.dirs.Suppressed(a.Name, pos)
+				}
+				return false
+			},
+		}
+		if _, err := a.RunModule(mp); err != nil {
+			t.Fatalf("analysistest: %s: module pass: %v", a.Name, err)
+		}
+		for _, d := range mdiags {
+			st := byFile[ld.fset.Position(d.Pos).Filename]
+			if st == nil {
+				t.Errorf("analysistest: %s: module diagnostic outside the loaded fixtures at %s: %s",
+					a.Name, ld.fset.Position(d.Pos), d.Message)
+				continue
+			}
+			if st.dirs.Suppressed(a.Name, d.Pos) {
+				continue
+			}
+			st.diags = append(st.diags, d)
+		}
+	}
+	for _, st := range states {
+		diags := append(st.diags, analysis.CheckDirectives(ld.fset, st.pkg.files)...)
+		diags = append(diags, st.dirs.Unused()...)
+		check(t, ld.fset, st.pkg.files, st.path, diags)
 	}
 }
 

@@ -1,0 +1,104 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"m3v/internal/analysis"
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/callgraph"
+)
+
+// debug is a test-only analyzer that dumps the finished call graph as
+// diagnostics, so fixtures can pin edge classification with want comments:
+// every call edge is reported at its call site as
+//
+//	call:<kind> <callee> [defer] [go] [panic] [variadic] [impl:...]
+//
+// and every function-value reference at the enclosing declaration as
+//
+//	ref <target>
+var debug = &analysis.Analyzer{
+	Name: "cgdebug",
+	Doc:  "reports every call edge and function-value reference of the module call graph",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		callgraph.Collect(pass)
+		return nil, nil
+	},
+	RunModule: func(mp *analysis.ModulePass) (interface{}, error) {
+		g := callgraph.Finalize(mp.Store)
+		for _, n := range g.Nodes() {
+			if n.External() {
+				continue
+			}
+			for _, e := range n.Calls {
+				var sb strings.Builder
+				sb.WriteString("call:")
+				sb.WriteString(kindString(e.Kind))
+				sb.WriteString(" ")
+				if e.Callee != nil {
+					sb.WriteString(e.Callee.Sym)
+				} else {
+					sb.WriteString(e.Desc)
+				}
+				if e.Defer {
+					sb.WriteString(" defer")
+				}
+				if e.Go {
+					sb.WriteString(" go")
+				}
+				if e.InPanic {
+					sb.WriteString(" panic")
+				}
+				if e.Variadic {
+					sb.WriteString(" variadic")
+				}
+				for _, im := range g.Impls(e) {
+					sb.WriteString(" impl:")
+					sb.WriteString(im.Sym)
+				}
+				mp.Reportf(e.Pos, "%s", sb.String())
+			}
+			for _, r := range n.Refs {
+				mp.Reportf(n.Pos, "ref %s", r.Sym)
+			}
+		}
+		return nil, nil
+	},
+}
+
+func kindString(k callgraph.Kind) string {
+	switch k {
+	case callgraph.KindStatic:
+		return "static"
+	case callgraph.KindInterface:
+		return "interface"
+	case callgraph.KindDynamic:
+		return "dynamic"
+	}
+	return "?"
+}
+
+func TestMethodValues(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "methodvalue")
+}
+
+func TestDeferredCalls(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "deferred")
+}
+
+func TestGoStatements(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "gostmt")
+}
+
+func TestVariadicBoxing(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "variadicbox")
+}
+
+func TestInterfaceResolution(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "iface")
+}
+
+func TestPanicArguments(t *testing.T) {
+	analysistest.Run(t, "testdata", debug, "panicarg")
+}

@@ -1,0 +1,22 @@
+// Fixture: deferred calls. Defer sites keep their static resolution and
+// carry the Defer flag; a directly-deferred literal is a static edge to
+// the literal's own node, not a Ref.
+package deferred
+
+type res struct{}
+
+func (*res) close() {}
+
+func helper() {}
+
+func f() {
+	defer helper() // want `call:static deferred\.helper defer`
+	var r res
+	defer r.close() // want `call:static \(deferred\.res\)\.close defer`
+}
+
+func g() {
+	defer func() {
+		helper() // want `call:static deferred\.helper$`
+	}() // want `call:static deferred\.func#\d+ defer`
+}

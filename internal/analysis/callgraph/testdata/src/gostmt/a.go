@@ -1,0 +1,13 @@
+// Fixture: go statements. Spawn sites keep their static resolution and
+// carry the Go flag; the calls inside a spawned literal belong to the
+// literal's node and are unflagged.
+package gostmt
+
+func worker() {}
+
+func spawn() {
+	go worker() // want `call:static gostmt\.worker go`
+	go func() {
+		worker() // want `call:static gostmt\.worker$`
+	}() // want `call:static gostmt\.func#\d+ go`
+}

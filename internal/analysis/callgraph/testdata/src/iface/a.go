@@ -1,0 +1,19 @@
+// Fixture: interface calls. A call through an interface method is an
+// interface edge; Impls resolves it conservatively to every concrete type
+// in the scanned module implementing the interface (value or pointer
+// receiver alike).
+package iface
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (A) Do() {}
+
+type B struct{}
+
+func (*B) Do() {}
+
+func run(d Doer) {
+	d.Do() // want `call:interface \(iface\.Doer\)\.Do impl:\(iface\.A\)\.Do impl:\(iface\.B\)\.Do`
+}

@@ -1,0 +1,23 @@
+// Fixture: method values. Binding t.M without calling it becomes a Ref of
+// the enclosing function (the bound value may run whenever the encloser
+// ran); calling the bound variable later is a dynamic edge.
+package methodvalue
+
+type T struct{}
+
+func (T) M() {}
+
+func take(f func()) {
+	f() // want `call:dynamic function value f`
+}
+
+func bind() { // want `ref \(methodvalue\.T\)\.M`
+	var t T
+	m := t.M
+	m() // want `call:dynamic function value m`
+}
+
+func pass() { // want `ref \(methodvalue\.T\)\.M`
+	var t T
+	take(t.M) // want `call:static methodvalue\.take`
+}

@@ -1,0 +1,17 @@
+// Fixture: panic arguments. Calls evaluated only to build a panic value
+// run on failure paths; they carry the InPanic flag so alloc/blocking
+// analyses can exempt them.
+package panicarg
+
+import "fmt"
+
+func bad(x int) string {
+	return fmt.Sprintf("bad %d", x) // want `call:static fmt\.Sprintf variadic`
+}
+
+func must(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("bad %d", x)) // want `call:static fmt\.Sprintf panic variadic`
+	}
+	return x
+}

@@ -1,0 +1,14 @@
+// Fixture: variadic interface boxing. A call that lands arguments in a
+// variadic slot boxes them into a fresh slice (Variadic flag); passing no
+// variadic arguments sends a nil slice, and spreading an existing slice
+// with ... reuses it — neither boxes.
+package variadicbox
+
+func logf(format string, args ...interface{}) {}
+
+func f() {
+	logf("x", 1, 2) // want `call:static variadicbox\.logf variadic`
+	logf("x")       // want `call:static variadicbox\.logf$`
+	s := []interface{}{1}
+	logf("x", s...) // want `call:static variadicbox\.logf$`
+}

@@ -4,26 +4,44 @@
 // path: the runtime guards prove the steady state allocates nothing, this
 // analyzer points at the construct when a change reintroduces allocation.
 //
-// The check is intraprocedural and conservative in both directions: it
-// does not follow calls, and it flags constructs the compiler sometimes
-// optimizes away (append into a slice with spare capacity, boxing of
-// small integers). Such justified cases carry an
-// //m3vlint:ignore noalloc <reason> directive at the use site, which keeps
-// every exception visible and explained in the source.
+// The check has two layers. The per-package layer inspects every annotated
+// body for allocating constructs directly (make, new, append, escaping
+// literals, capturing closures, interface boxing, go statements). The
+// module layer then walks the call graph (internal/analysis/callgraph) and
+// propagates the guarantee transitively: an annotated function may only
+// call functions that are themselves annotated, proven alloc-free by body
+// inspection (recursively, over the whole module), or on the explicit
+// allowlist of alloc-free standard-library packages. Anything else — an
+// allocating helper two hops away, a call through a function value or an
+// interface, a variadic call that boxes its arguments — is a diagnostic at
+// the call site naming the offending call chain.
+//
+// The analyzer stays conservative in both directions: it flags constructs
+// the compiler sometimes optimizes away (append into a slice with spare
+// capacity, boxing of small integers) and it refuses to follow dynamic
+// calls. Justified cases carry an //m3vlint:ignore noalloc <reason>
+// directive at the use site, which keeps every exception visible and
+// explained in the source; a directive on an allocation witness inside an
+// unannotated helper marks that witness as justified for the transitive
+// proof too.
 package noalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"m3v/internal/analysis"
+	"m3v/internal/analysis/callgraph"
 )
 
-// Analyzer checks //m3v:noalloc functions for allocating constructs.
+// Analyzer checks //m3v:noalloc functions for allocating constructs and
+// propagates the guarantee through the module call graph.
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
-	Doc: `forbid allocating constructs in //m3v:noalloc functions
+	Doc: `forbid allocating constructs in //m3v:noalloc functions, transitively
 
 Functions carrying the //m3v:noalloc doc annotation form the engine's
 allocation-free hot path (event scheduling and dispatch, the disabled-trace
@@ -35,32 +53,283 @@ fast path). Inside them the analyzer flags:
   - append (the backing array may grow),
   - function literals that capture variables of the enclosing function,
   - conversions of non-pointer-shaped values to interface types (boxing),
-    including implicit conversions at calls, assignments, and returns.
+    including implicit conversions at calls, assignments, and returns,
+  - go statements (the spawn allocates).
+
+The guarantee propagates through calls: an annotated function may only
+call functions that are themselves annotated, proven alloc-free by body
+inspection over the module call graph, or on the standard-library
+allowlist (sync/atomic, math, math/bits). Calls through function values,
+interface methods, and variadic calls that box their arguments are flagged
+because they cannot be proven.
 
 Arguments of panic calls are exempt: a panicking simulator is already out
 of the measurement. Justified exceptions (amortized growth of a reusable
-buffer) take an //m3vlint:ignore noalloc <reason> directive.`,
-	Run: run,
+buffer, dispatch through audited callback slots) take an
+//m3vlint:ignore noalloc <reason> directive at the use site — also inside
+unannotated helpers, where it justifies the allocation witness for the
+transitive proof.`,
+	Run:       run,
+	RunModule: runModule,
+}
+
+// factsKey indexes the per-function witness facts inside the analyzer's
+// module store (the callgraph Builder lives in the same store under its
+// own key).
+const factsKey = "noalloc.facts"
+
+// AllowPkgs lists standard-library packages whose functions are accepted
+// as alloc-free callees without a body to inspect: pure arithmetic and
+// atomic intrinsics.
+var AllowPkgs = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+// AllowSyms lists individual external functions accepted as alloc-free.
+// Mutex operations park on contention but never allocate.
+var AllowSyms = map[string]bool{
+	"(sync.Mutex).Lock":      true,
+	"(sync.Mutex).Unlock":    true,
+	"(sync.Mutex).TryLock":   true,
+	"(sync.RWMutex).Lock":    true,
+	"(sync.RWMutex).Unlock":  true,
+	"(sync.RWMutex).RLock":   true,
+	"(sync.RWMutex).RUnlock": true,
+}
+
+// A witness is one allocating construct found in a function body. desc
+// composes into both message forms: "<desc> in //m3v:noalloc function
+// <name><hint>" for the intraprocedural report, "g -> h: <desc>" for
+// transitive call chains.
+type witness struct {
+	pos  token.Pos
+	desc string
+	hint string
+}
+
+// fnFact is the per-function record the module pass consumes.
+type fnFact struct {
+	annotated bool
+	wits      []witness
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	b := callgraph.Collect(pass)
+	facts, _ := pass.Store[factsKey].(map[*callgraph.Node]*fnFact)
+	if facts == nil {
+		facts = map[*callgraph.Node]*fnFact{}
+		pass.Store[factsKey] = facts
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !analysis.HasNoAllocMarker(fd) {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			c := &checker{pass: pass, decl: fd}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			node := b.NodeOf(obj)
+			annotated := analysis.HasNoAllocMarker(fd)
+			sig, _ := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+			c := &checker{pass: pass, start: fd.Pos(), sig: sig}
 			c.block(fd.Body)
+			if node != nil {
+				facts[node] = &fnFact{annotated: annotated, wits: c.wits}
+			}
+			if annotated {
+				for _, w := range c.wits {
+					pass.Reportf(w.pos, "%s in //m3v:noalloc function %s%s",
+						w.desc, fd.Name.Name, w.hint)
+				}
+			}
+			// Every function literal is a node of its own; collect its body
+			// witnesses so the module pass can prove directly-called
+			// literals.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ln := b.LitOf(lit)
+				if ln == nil {
+					return true
+				}
+				lsig, _ := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+				lc := &checker{pass: pass, start: lit.Pos(), sig: lsig}
+				lc.block(lit.Body)
+				facts[ln] = &fnFact{wits: lc.wits}
+				return true
+			})
 		}
 	}
 	return nil, nil
 }
 
-// checker walks one annotated function.
+// --- module pass: transitive proof ------------------------------------------
+
+func runModule(mp *analysis.ModulePass) (interface{}, error) {
+	facts, _ := mp.Store[factsKey].(map[*callgraph.Node]*fnFact)
+	if facts == nil {
+		return nil, nil
+	}
+	p := &prover{
+		g:     callgraph.Finalize(mp.Store),
+		facts: facts,
+		mp:    mp,
+		memo:  map[*callgraph.Node]*proof{},
+	}
+	for _, n := range p.g.Nodes() {
+		if f := facts[n]; f != nil && f.annotated {
+			p.checkRoot(n)
+		}
+	}
+	return nil, nil
+}
+
+// A proof is the memoized verdict on one node: alloc-free or not, and if
+// not, the call trail from the node down to the reason.
+type proof struct {
+	ok     bool
+	trail  []*callgraph.Node
+	reason string
+}
+
+type prover struct {
+	g     *callgraph.Graph
+	facts map[*callgraph.Node]*fnFact
+	mp    *analysis.ModulePass
+	memo  map[*callgraph.Node]*proof
+}
+
+// checkRoot reports every edge of an annotated function that leaves the
+// proven-alloc-free world. Diagnostics land at the call site and pass
+// through the driver's ignore-directive filter.
+func (p *prover) checkRoot(n *callgraph.Node) {
+	name := n.RelString(n.PkgPath)
+	for _, e := range n.Calls {
+		if e.InPanic {
+			continue // failure path: allocation is irrelevant
+		}
+		if e.Go {
+			continue // the go-statement body witness already flags the spawn
+		}
+		if e.Variadic {
+			p.mp.Reportf(e.Pos,
+				"variadic call of %s boxes its arguments into a fresh slice in //m3v:noalloc function %s; "+
+					"spread a reused slice with ... or justify with an ignore directive",
+				e.Callee.RelString(n.PkgPath), name)
+		}
+		switch e.Kind {
+		case callgraph.KindDynamic:
+			p.mp.Reportf(e.Pos,
+				"call through %s in //m3v:noalloc function %s cannot be proven alloc-free; "+
+					"route it through an annotated function or justify with an ignore directive",
+				e.Desc, name)
+		case callgraph.KindInterface:
+			p.mp.Reportf(e.Pos,
+				"call through %s in //m3v:noalloc function %s cannot be proven alloc-free; "+
+					"justify with an ignore directive naming the audited implementations",
+				e.Desc, name)
+		case callgraph.KindStatic:
+			if pr := p.prove(e.Callee); !pr.ok {
+				p.mp.Reportf(e.Pos,
+					"call to %s in //m3v:noalloc function %s is not alloc-free: %s",
+					e.Callee.RelString(n.PkgPath), name, pr.chain(n.PkgPath))
+			}
+		}
+	}
+}
+
+// chain renders the failure trail relative to the reporting package:
+// "helper -> deeper: make allocates".
+func (pr *proof) chain(from string) string {
+	names := make([]string, len(pr.trail))
+	for i, t := range pr.trail {
+		names[i] = t.RelString(from)
+	}
+	return strings.Join(names, " -> ") + ": " + pr.reason
+}
+
+// prove decides whether a node is alloc-free: annotated nodes are trusted
+// (they carry their own check), external nodes must be allowlisted, and
+// everything else needs a witness-free body whose static callees all prove
+// recursively. Cycles are assumed alloc-free while being proven
+// (coinduction): recursion alone does not allocate. Ignore directives
+// consulted through mp.Suppressed justify individual witnesses and
+// unresolvable edges inside unannotated helpers, and count as used for the
+// stale-suppression audit.
+func (p *prover) prove(n *callgraph.Node) *proof {
+	if pr, ok := p.memo[n]; ok {
+		return pr
+	}
+	pr := &proof{ok: true}
+	p.memo[n] = pr
+	f := p.facts[n]
+	fail := func(trail []*callgraph.Node, reason string) {
+		pr.ok = false
+		pr.trail = trail
+		pr.reason = reason
+	}
+	switch {
+	case f != nil && f.annotated:
+		return pr // trusted: checkRoot covers its body and edges
+	case n.External():
+		if AllowPkgs[n.PkgPath] || AllowSyms[n.Sym] {
+			return pr
+		}
+		fail([]*callgraph.Node{n}, "declared outside the module and not on the alloc-free allowlist")
+		return pr
+	case f == nil:
+		fail([]*callgraph.Node{n}, "body not scanned by this run")
+		return pr
+	}
+	for _, w := range f.wits {
+		if p.mp.Suppressed(w.pos) {
+			continue // justified at the witness site
+		}
+		fail([]*callgraph.Node{n}, w.desc)
+		return pr
+	}
+	for _, e := range n.Calls {
+		if e.InPanic || e.Go {
+			continue // panic: failure path; go: flagged by the body witness
+		}
+		if e.Variadic && !p.mp.Suppressed(e.Pos) {
+			fail([]*callgraph.Node{n}, fmt.Sprintf(
+				"variadic call of %s boxes its arguments", e.Callee.RelString(n.PkgPath)))
+			return pr
+		}
+		switch e.Kind {
+		case callgraph.KindDynamic, callgraph.KindInterface:
+			if !p.mp.Suppressed(e.Pos) {
+				fail([]*callgraph.Node{n}, "calls "+e.Desc+", which cannot be proven alloc-free")
+				return pr
+			}
+		case callgraph.KindStatic:
+			if sub := p.prove(e.Callee); !sub.ok {
+				fail(append([]*callgraph.Node{n}, sub.trail...), sub.reason)
+				return pr
+			}
+		}
+	}
+	return pr
+}
+
+// --- per-body witness collection --------------------------------------------
+
+// checker collects the allocation witnesses of one body (a declared
+// function or a function literal; nested literals are separate nodes and
+// excluded).
 type checker struct {
-	pass *analysis.Pass
-	decl *ast.FuncDecl
+	pass  *analysis.Pass
+	start token.Pos
+	sig   *types.Signature
+	wits  []witness
+}
+
+func (c *checker) emit(pos token.Pos, desc, hint string) {
+	c.wits = append(c.wits, witness{pos: pos, desc: desc, hint: hint})
 }
 
 func (c *checker) block(body *ast.BlockStmt) {
@@ -77,6 +346,9 @@ func (c *checker) block(body *ast.BlockStmt) {
 	})
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.emit(n.Pos(), "go statement starts a goroutine", "; the spawn allocates")
+			return true
 		case *ast.CallExpr:
 			return c.call(n)
 		case *ast.CompositeLit:
@@ -84,11 +356,10 @@ func (c *checker) block(body *ast.BlockStmt) {
 			return true
 		case *ast.FuncLit:
 			if capt := c.captures(n); capt != "" {
-				c.pass.Reportf(n.Pos(),
-					"closure captures %s in //m3v:noalloc function %s: the closure allocates; "+
-						"hoist it to a cached field or method value", capt, c.decl.Name.Name)
+				c.emit(n.Pos(), "closure captures "+capt,
+					": the closure allocates; hoist it to a cached field or method value")
 			}
-			return false // the literal's body runs outside this hot path
+			return false // the literal's body is its own call-graph node
 		case *ast.AssignStmt:
 			c.assign(n)
 			return true
@@ -121,17 +392,14 @@ func (c *checker) call(call *ast.CallExpr) bool {
 		case *types.Builtin:
 			switch obj.Name() {
 			case "make":
-				c.pass.Reportf(call.Pos(),
-					"make allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+				c.emit(call.Pos(), "make allocates", "")
 				return true
 			case "new":
-				c.pass.Reportf(call.Pos(),
-					"new allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+				c.emit(call.Pos(), "new allocates", "")
 				return true
 			case "append":
-				c.pass.Reportf(call.Pos(),
-					"append may grow its backing array in //m3v:noalloc function %s; "+
-						"pre-size the slice or justify with an ignore directive", c.decl.Name.Name)
+				c.emit(call.Pos(), "append may grow its backing array",
+					"; pre-size the slice or justify with an ignore directive")
 				return true
 			case "panic":
 				return false // failure path: allocation is irrelevant
@@ -173,16 +441,12 @@ func (c *checker) composite(cl *ast.CompositeLit, addressed bool) {
 	}
 	switch t.Underlying().(type) {
 	case *types.Slice:
-		c.pass.Reportf(cl.Pos(),
-			"slice literal allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+		c.emit(cl.Pos(), "slice literal allocates", "")
 	case *types.Map:
-		c.pass.Reportf(cl.Pos(),
-			"map literal allocates in //m3v:noalloc function %s", c.decl.Name.Name)
+		c.emit(cl.Pos(), "map literal allocates", "")
 	default:
 		if addressed {
-			c.pass.Reportf(cl.Pos(),
-				"composite literal escapes to the heap (address taken) in //m3v:noalloc function %s",
-				c.decl.Name.Name)
+			c.emit(cl.Pos(), "composite literal escapes to the heap (address taken)", "")
 		}
 	}
 }
@@ -205,12 +469,10 @@ func (c *checker) assign(s *ast.AssignStmt) {
 }
 
 func (c *checker) returns(s *ast.ReturnStmt) {
-	sig := typeOf(c.pass, funcIdent(c.decl))
-	fsig, ok := sig.(*types.Signature)
-	if !ok {
+	if c.sig == nil {
 		return
 	}
-	res := fsig.Results()
+	res := c.sig.Results()
 	if len(s.Results) != res.Len() {
 		return
 	}
@@ -219,7 +481,7 @@ func (c *checker) returns(s *ast.ReturnStmt) {
 	}
 }
 
-// box reports e if assigning it to target boxes a non-pointer-shaped value
+// box records e if assigning it to target boxes a non-pointer-shaped value
 // into an interface.
 func (c *checker) box(e ast.Expr, target types.Type) {
 	if target == nil {
@@ -241,9 +503,7 @@ func (c *checker) box(e ast.Expr, target types.Type) {
 	if pointerShaped(et) {
 		return
 	}
-	c.pass.Reportf(e.Pos(),
-		"interface boxing of non-pointer value (%s) allocates in //m3v:noalloc function %s",
-		et, c.decl.Name.Name)
+	c.emit(e.Pos(), fmt.Sprintf("interface boxing of non-pointer value (%s) allocates", et), "")
 }
 
 // pointerShaped reports whether values of t fit an interface word without
@@ -258,9 +518,9 @@ func pointerShaped(t types.Type) bool {
 	return false
 }
 
-// captures names the first variable of the enclosing function a func
-// literal closes over, or returns "" for capture-free literals (the
-// compiler turns those into static values).
+// captures names the first variable of the enclosing body a func literal
+// closes over, or returns "" for capture-free literals (the compiler turns
+// those into static values).
 func (c *checker) captures(lit *ast.FuncLit) string {
 	inner := map[types.Object]bool{}
 	ast.Inspect(lit, func(n ast.Node) bool {
@@ -284,7 +544,7 @@ func (c *checker) captures(lit *ast.FuncLit) string {
 		if !ok || inner[obj] || obj.IsField() {
 			return true
 		}
-		if obj.Pos() >= c.decl.Pos() && obj.Pos() < lit.Pos() {
+		if obj.Pos() >= c.start && obj.Pos() < lit.Pos() {
 			found = obj.Name()
 		}
 		return true
@@ -308,5 +568,3 @@ func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
 	}
 	return pass.TypesInfo.TypeOf(e)
 }
-
-func funcIdent(fd *ast.FuncDecl) ast.Expr { return fd.Name }

@@ -10,3 +10,11 @@ import (
 func TestNoalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", noalloc.Analyzer, "noallocfix")
 }
+
+// TestNoallocTransitive pins the module-level proof: annotated functions
+// calling unannotated allocating helpers fail with the full call chain,
+// across packages; proven, annotated, allowlisted, cyclic, and
+// witness-justified callees stay clean.
+func TestNoallocTransitive(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "transitive/dep", "transitive")
+}

@@ -63,7 +63,7 @@ func boxing(i int, p *int, e ev) {
 	sink(i)               // want `interface boxing of non-pointer value \(int\)`
 	sink(p)               // pointers fit the interface word
 	sink(e)               // want `interface boxing of non-pointer value`
-	variadic(p, i)        // want `interface boxing of non-pointer value \(int\)`
+	variadic(p, i)        // want `interface boxing of non-pointer value \(int\)` `variadic call of variadic boxes its arguments into a fresh slice`
 	var x interface{} = i // want `interface boxing of non-pointer value \(int\)`
 	_ = x
 	var y interface{} = p // no boxing: pointer-shaped

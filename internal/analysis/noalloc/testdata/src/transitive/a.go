@@ -1,0 +1,94 @@
+// Package transitive exercises the module-level noalloc proof: the
+// //m3v:noalloc guarantee propagates through static calls, so an annotated
+// function calling an unannotated allocating helper — even several hops
+// away, even in another package — fails with the full call chain.
+package transitive
+
+import (
+	"math/bits"
+
+	"transitive/dep"
+)
+
+//m3v:noalloc
+func hot() {
+	helper() // want `call to helper in //m3v:noalloc function hot is not alloc-free: helper -> deeper: make allocates`
+}
+
+func helper() { deeper() }
+
+func deeper() {
+	m := make([]int, 8)
+	_ = m
+}
+
+//m3v:noalloc
+func hotDep() {
+	viaDep() // want `call to viaDep in //m3v:noalloc function hotDep is not alloc-free: viaDep -> transitive/dep\.Alloc: slice literal allocates`
+}
+
+func viaDep() { dep.Alloc() }
+
+//m3v:noalloc
+func okChain() {
+	clean() // proven alloc-free two hops deep: no finding
+}
+
+func clean() {
+	cleanDeeper()
+	_ = bits.OnesCount(7) // math/bits is allowlisted
+}
+
+func cleanDeeper() {}
+
+//m3v:noalloc
+func trustAnnotated() {
+	annotatedHelper() // annotated callees are trusted, not re-proven
+}
+
+//m3v:noalloc
+func annotatedHelper() {}
+
+//m3v:noalloc
+func cyclic() {
+	_ = even(8) // mutual recursion alone is alloc-free (coinduction)
+}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+//m3v:noalloc
+func dyn(f func()) {
+	f() // want `call through function value f in //m3v:noalloc function dyn cannot be proven alloc-free`
+}
+
+type icall interface{ M() }
+
+//m3v:noalloc
+func ifacecall(i icall) {
+	i.M() // want `call through interface method \(transitive\.icall\)\.M in //m3v:noalloc function ifacecall cannot be proven alloc-free`
+}
+
+//m3v:noalloc
+func justified() {
+	grower() // the append witness inside grower is justified at its site
+}
+
+func grower() {
+	var s [4]int
+	b := s[:0]
+	//m3vlint:ignore noalloc amortized growth of a reusable buffer, audited by the steady-state alloc guard
+	b = append(b, 1)
+	_ = b
+}

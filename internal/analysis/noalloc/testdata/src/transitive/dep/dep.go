@@ -1,0 +1,8 @@
+// Package dep supplies a cross-package allocating helper for the
+// transitive noalloc fixture.
+package dep
+
+// Alloc allocates; nothing on the noalloc hot path may reach it.
+func Alloc() []int {
+	return []int{1, 2, 3}
+}

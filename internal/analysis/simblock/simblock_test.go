@@ -1,0 +1,12 @@
+package simblock_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/simblock"
+)
+
+func TestSimblock(t *testing.T) {
+	analysistest.Run(t, "testdata", simblock.Analyzer, "simfix")
+}

@@ -1,0 +1,75 @@
+// Package simfix exercises the simblock analyzer: blocking constructs are
+// reported anywhere reachable from a //m3v:simctx root — through static
+// calls, go statements, interface implementations, and function values —
+// and nowhere else.
+package simfix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type handler interface{ handle() }
+
+type hw struct{}
+
+func (hw) handle() {
+	_, _ = os.ReadFile("state") // want `call to os\.ReadFile performs host I/O in hw\.handle \(reachable from //m3v:simctx root dispatch\)`
+}
+
+//m3v:simctx
+func dispatch(h handler, cb func()) {
+	step()
+	deliver()
+	deliverAudited(nil)
+	h.handle()        // interface calls expand to every concrete impl
+	cb()              // plain function values are not followed
+	register(sleeper) // ...but referenced functions are
+}
+
+func step() {
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep blocks on the wall clock in step \(reachable from //m3v:simctx root dispatch\)`
+	var wg sync.WaitGroup
+	wg.Wait() // want `call to \(sync\.WaitGroup\)\.Wait blocks on goroutine completion in step`
+}
+
+func deliver() {
+	ch := make(chan int, 1)
+	ch <- 1        // want `channel send inside the simulation context in deliver`
+	<-ch           // want `channel receive inside the simulation context in deliver`
+	for range ch { // want `range over channel inside the simulation context in deliver`
+	}
+	select { // want `select statement inside the simulation context in deliver`
+	default:
+	}
+}
+
+func deliverAudited(ch chan int) {
+	//m3vlint:ignore simblock audited proc hand-off: bounded rendezvous with a parked proc goroutine
+	ch <- 1
+}
+
+func register(f func()) { _ = f }
+
+func sleeper() {
+	time.Sleep(1) // want `call to time\.Sleep blocks on the wall clock in sleeper`
+}
+
+//m3v:simctx
+func spawnRoot() {
+	go worker()
+}
+
+func worker() {
+	var ch chan int
+	<-ch // want `channel receive inside the simulation context in worker \(reachable from //m3v:simctx root spawnRoot\)`
+}
+
+// cold is reachable from no root: its blocking constructs are fine.
+func cold() {
+	time.Sleep(1)
+	ch := make(chan int)
+	close(ch)
+	<-ch
+}

@@ -1,0 +1,12 @@
+package spanleak_test
+
+import (
+	"testing"
+
+	"m3v/internal/analysis/analysistest"
+	"m3v/internal/analysis/spanleak"
+)
+
+func TestSpanleak(t *testing.T) {
+	analysistest.Run(t, "testdata", spanleak.Analyzer, "spanfix")
+}

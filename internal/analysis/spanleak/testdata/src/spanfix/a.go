@@ -1,0 +1,172 @@
+// Package spanfix exercises the spanleak analyzer: every BeginSpan must
+// reach an EndSpan/EndSpanArgs on all paths, discarded refs are findings,
+// and refs that escape transfer ownership and are exempt.
+package spanfix
+
+import "m3v/internal/trace"
+
+type holder struct {
+	r   *trace.Recorder
+	ref trace.SpanRef
+}
+
+// clean closes on the single path.
+func clean(r *trace.Recorder, now int64) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	r.EndSpan(ref, now+1)
+}
+
+// cleanArgs closes via EndSpanArgs.
+func cleanArgs(r *trace.Recorder, now int64) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	r.EndSpanArgs(ref, now+1, 0, 0, 0)
+}
+
+// branchLeak forgets the early-return path.
+func branchLeak(r *trace.Recorder, now int64, fail bool) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of branchLeak`
+	if fail {
+		return
+	}
+	r.EndSpan(ref, now+1)
+}
+
+// branchClean closes on both arms.
+func branchClean(r *trace.Recorder, now int64, fail bool) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	if fail {
+		r.EndSpan(ref, now)
+		return
+	}
+	r.EndSpan(ref, now+1)
+}
+
+// fallLeak falls off the end without closing.
+func fallLeak(r *trace.Recorder, now int64) {
+	_ = r.BeginSpan                        // method value, not a begin
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of fallLeak`
+	_ = ref == 0                           // comparisons do not count as escapes
+}
+
+// discarded can never be closed.
+func discarded(r *trace.Recorder, now int64) {
+	r.BeginSpan(1, 0, 0, now, 0, 0)     // want `BeginSpan result discarded in discarded`
+	_ = r.BeginSpan(2, 0, 0, now, 0, 0) // want `BeginSpan result discarded in discarded`
+}
+
+// deferClose covers every later exit, direct form.
+func deferClose(r *trace.Recorder, now int64, fail bool) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	defer r.EndSpan(ref, now+1)
+	if fail {
+		return
+	}
+}
+
+// deferClosure covers every later exit via a deferred literal.
+func deferClosure(r *trace.Recorder, now int64, fail bool) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	defer func() { r.EndSpanArgs(ref, now+1, 0, 0, 0) }()
+	if fail {
+		return
+	}
+}
+
+// escapeField parks the ref in a struct: ownership transfers.
+func escapeField(h *holder, now int64) {
+	ref := h.r.BeginSpan(1, 0, 0, now, 0, 0)
+	h.ref = ref
+}
+
+// escapeReturn hands the ref to the caller.
+func escapeReturn(r *trace.Recorder, now int64) trace.SpanRef {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	return ref
+}
+
+// escapeCall passes the ref to a non-trace function.
+func escapeCall(r *trace.Recorder, now int64) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	record(ref)
+}
+
+func record(ref trace.SpanRef) { _ = ref }
+
+// parentUse feeds the ref back into trace calls only: still tracked, and
+// closed on all paths here.
+func parentUse(r *trace.Recorder, now int64) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	child := r.EmitSpan(2, ref, 0, now, now+1, 0, 0)
+	_ = child == 0
+	r.EndSpan(ref, now+2)
+}
+
+// panicPath: panicking tears the trace anyway; the normal path closes.
+func panicPath(r *trace.Recorder, now int64, bad bool) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	if bad {
+		panic("torn")
+	}
+	r.EndSpan(ref, now+1)
+}
+
+// switchLeak misses the default arm.
+func switchLeak(r *trace.Recorder, now int64, k int) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of switchLeak`
+	switch k {
+	case 0:
+		r.EndSpan(ref, now)
+	case 1:
+		r.EndSpan(ref, now+1)
+	}
+}
+
+// switchClean closes on every arm including default.
+func switchClean(r *trace.Recorder, now int64, k int) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	switch k {
+	case 0:
+		r.EndSpan(ref, now)
+	default:
+		r.EndSpan(ref, now+1)
+	}
+}
+
+// loopClose closes inside a loop body that may run zero times.
+func loopClose(r *trace.Recorder, now int64, n int) {
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of loopClose`
+	for i := 0; i < n; i++ {
+		r.EndSpan(ref, now)
+	}
+}
+
+// litScope: function literals are scopes of their own.
+func litScope(r *trace.Recorder, now int64) func() {
+	return func() {
+		ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of func literal`
+		_ = ref == 0
+	}
+}
+
+// litClean: a closing literal is fine.
+func litClean(r *trace.Recorder, now int64) func() {
+	return func() {
+		ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+		r.EndSpan(ref, now+1)
+	}
+}
+
+// nestedBegin: begins inside nested blocks are found too.
+func nestedBegin(r *trace.Recorder, now int64, deep bool) {
+	if deep {
+		ref := r.BeginSpan(1, 0, 0, now, 0, 0) // want `span begun here is not ended on every path out of nestedBegin`
+		_ = ref == 0
+	}
+}
+
+// suppressed: a justified leak stays quiet.
+func suppressed(r *trace.Recorder, now int64) {
+	//m3vlint:ignore spanleak span deliberately left open across the checkpoint boundary; the restore path closes it
+	ref := r.BeginSpan(1, 0, 0, now, 0, 0)
+	_ = ref == 0
+}

@@ -8,6 +8,8 @@ import (
 	"m3v/internal/analysis/detmap"
 	"m3v/internal/analysis/metricname"
 	"m3v/internal/analysis/noalloc"
+	"m3v/internal/analysis/simblock"
+	"m3v/internal/analysis/spanleak"
 	"m3v/internal/analysis/spanname"
 	"m3v/internal/analysis/walltime"
 )
@@ -17,6 +19,8 @@ var Analyzers = []*analysis.Analyzer{
 	detmap.Analyzer,
 	walltime.Analyzer,
 	noalloc.Analyzer,
+	simblock.Analyzer,
+	spanleak.Analyzer,
 	metricname.Analyzer,
 	spanname.Analyzer,
 }

@@ -31,7 +31,11 @@ func TestRepoIsLintClean(t *testing.T) {
 // TestSuiteComposition pins that every analyzer stays enrolled: dropping
 // one from the suite silently un-enforces its invariant.
 func TestSuiteComposition(t *testing.T) {
-	want := map[string]bool{"detmap": true, "walltime": true, "noalloc": true, "metricname": true, "spanname": true}
+	want := map[string]bool{
+		"detmap": true, "walltime": true, "noalloc": true,
+		"simblock": true, "spanleak": true,
+		"metricname": true, "spanname": true,
+	}
 	for _, a := range suite.Analyzers {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)

@@ -31,6 +31,8 @@ type SendArgs struct {
 // message to the target receive endpoint, and completes when the remote DTU
 // acknowledges storage (or reports an error). ErrNoRecipient restores the
 // credit, since no message is in flight afterwards.
+//
+//m3v:simctx
 func (d *DTU) Send(p *sim.Proc, a SendArgs) error {
 	start := d.eng.Now()
 	// Mint the message's flow ID and open the root span before the inner
@@ -98,6 +100,8 @@ func (d *DTU) send(p *sim.Proc, a SendArgs, flow uint64) error {
 // Reply executes the REPLY command on a fetched message: it sends data to
 // the reply endpoint recorded in the slot, frees the slot, and piggybacks
 // the credit return for the original request.
+//
+//m3v:simctx
 func (d *DTU) Reply(p *sim.Proc, ep EpID, slot int, data []byte, vaddr uint64) error {
 	start := d.eng.Now()
 	flow := d.rec.MintFlow()
@@ -231,6 +235,8 @@ func (d *DTU) issueMsg(p *sim.Proc, dst noc.TileID, pkt msgPacket, payload int) 
 // Fetch executes FETCH_MSG: it returns the oldest unread message of the
 // receive endpoint without freeing its slot. The slot index must be passed
 // to Reply or Ack later.
+//
+//m3v:simctx
 func (d *DTU) Fetch(p *sim.Proc, ep EpID) (int, *Message, error) {
 	start := d.eng.Now()
 	slot, m, err := d.fetch(p, ep)

@@ -219,6 +219,8 @@ func (d *DTU) CheckPMP(addr uint64, n int, perm Perm) (noc.TileID, uint64, error
 }
 
 // Deliver implements noc.Handler: the DTU's NoC-facing side.
+//
+//m3v:simctx
 func (d *DTU) Deliver(pkt *noc.Packet) bool {
 	switch pl := pkt.Payload.(type) {
 	case msgPacket:

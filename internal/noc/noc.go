@@ -189,6 +189,7 @@ func (n *Network) hopLatency(src, dst TileID) sim.Time {
 	if n.latBase != nil && int(src) < n.nTiles && int(dst) < n.nTiles {
 		return n.latBase[int(src)*n.nTiles+int(dst)]
 	}
+	//m3vlint:ignore noalloc dynamic-topology fallback: the sole Topology impl (StarMesh.Hops) is pure arithmetic
 	return sim.Time(n.topo.Hops(src, dst)) * n.cfg.HopLatency
 }
 
@@ -199,6 +200,7 @@ func (n *Network) routerOf(t TileID) int {
 	if n.routerTab != nil && int(t) < n.nTiles {
 		return n.routerTab[t]
 	}
+	//m3vlint:ignore noalloc dynamic-topology fallback: the sole Topology impl (StarMesh.RouterOf) is pure arithmetic
 	return n.topo.RouterOf(t)
 }
 
@@ -271,6 +273,8 @@ func (n *Network) releaseInflight(fl *inflight) {
 // rejects it, the packet is retransmitted after RetryDelay, up to MaxRetries
 // times. The packet is recycled once delivery completes; callers must not
 // touch it after Send.
+//
+//m3v:simctx
 func (n *Network) Send(pkt *Packet) {
 	n.inj.CountSend()
 	fl := n.newInflight(pkt)

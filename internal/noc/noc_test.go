@@ -225,7 +225,7 @@ func TestFastPathTablesMatchDynamic(t *testing.T) {
 	configs := []Config{
 		DefaultConfig(), // 1.6 GB/s divides sim.Second: multiply fast path
 		{HopLatency: 15 * sim.Nanosecond, BandwidthBps: 3_000_000_007}, // prime: division path
-		{HopLatency: 7 * sim.Nanosecond}, // zero bandwidth: no serialization
+		{HopLatency: 7 * sim.Nanosecond},                               // zero bandwidth: no serialization
 	}
 	for _, cfg := range configs {
 		topo := StarMesh{NumTiles: 12}

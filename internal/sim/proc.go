@@ -28,6 +28,8 @@ type Proc struct {
 
 // Spawn creates a process executing fn and schedules its start at the current
 // time. fn runs in process context.
+//
+//m3v:simctx
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	if e.dead {
 		panic("sim: Spawn after Shutdown")
@@ -52,6 +54,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			// send below.
 			p.done = true
 			e.unregister(p)
+			//m3vlint:ignore simblock audited proc hand-off: final parked send returns control to the engine blocked in resume
 			e.parked <- struct{}{}
 		}()
 		p.waitWake() // wait for the start event
@@ -76,12 +79,15 @@ func (e *Engine) resume(p *Proc) {
 	if p.done {
 		panic(fmt.Sprintf("sim: resume of finished process %q", p.name))
 	}
+	//m3vlint:ignore simblock audited proc hand-off: bounded rendezvous, the resumed process parks or finishes
 	p.wake <- struct{}{}
+	//m3vlint:ignore simblock audited proc hand-off: bounded rendezvous, the resumed process parks or finishes
 	<-e.parked
 }
 
 // yield hands control back to the engine and blocks until resumed.
 func (p *Proc) yield() {
+	//m3vlint:ignore simblock audited proc hand-off: parked send pairs with the engine's receive in resume
 	p.e.parked <- struct{}{}
 	p.waitWake()
 }
@@ -95,6 +101,7 @@ func (p *Proc) yield() {
 //
 //m3v:noalloc
 func (p *Proc) waitWake() {
+	//m3vlint:ignore simblock audited proc hand-off: wake receive pairs with resume's send (or Shutdown's unwind)
 	<-p.wake
 	if p.e.dead {
 		panic(shutdownError{})
@@ -120,6 +127,7 @@ func (p *Proc) Now() Time { return p.e.now }
 // DTU command charges hit this path.
 //
 //m3v:noalloc
+//m3v:simctx
 func (p *Proc) Sleep(d Time) {
 	e := p.e
 	e.At(e.now+d, p.resumeFn)
@@ -134,6 +142,7 @@ func (p *Proc) Sleep(d Time) {
 // returns immediately and consumes it; this closes the lost-wakeup window.
 //
 //m3v:noalloc
+//m3v:simctx
 func (p *Proc) Park() {
 	if p.interrupted {
 		p.interrupted = false
@@ -149,6 +158,7 @@ func (p *Proc) Park() {
 // Duplicate wakes coalesce.
 //
 //m3v:noalloc
+//m3v:simctx
 func (p *Proc) Wake() {
 	if p.done {
 		return
