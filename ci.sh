@@ -99,6 +99,21 @@ go test -cover ./internal/fault/... > "$TRACE_TMP/faultcov.txt"
 cat "$TRACE_TMP/faultcov.txt"
 grep -q 'coverage:' "$TRACE_TMP/faultcov.txt"
 
+echo "== telemetry smoke =="
+# Sim-time telemetry gate: a sampled fig6-style run must export Perfetto
+# counter tracks and an m3vstat-readable series file whose report shows the
+# utilization and tail-latency tables; the gauge hot path and the
+# disabled-sampler run loop must stay allocation free.
+go run ./cmd/m3vsim -rounds 10 -shared -sample-interval 100ns \
+    -series "$TRACE_TMP/fig6-series.json" \
+    -trace "$TRACE_TMP/fig6-sampled.json" > /dev/null
+grep -q '"ph":"C"' "$TRACE_TMP/fig6-sampled.json"   # counter tracks present
+go run ./cmd/m3vstat "$TRACE_TMP/fig6-series.json" > "$TRACE_TMP/fig6-stat.txt"
+grep -q 'utilization' "$TRACE_TMP/fig6-stat.txt"
+grep -q 'switch_time' "$TRACE_TMP/fig6-stat.txt"
+go test -count=1 -run 'TestGaugeAllocFree' ./internal/trace
+go test -count=1 -run 'TestNoSamplerZeroCost' ./internal/sim
+
 echo "== bench json =="
 # Record the perf trajectory: wall clock per experiment plus the
 # serial-vs-parallel comparison, which also gates on byte-identical tables.

@@ -68,14 +68,21 @@ type benchExperiment struct {
 	SerialWallMs float64 `json:"serial_wall_ms,omitempty"`
 	Speedup      float64 `json:"speedup,omitempty"`
 	Identical    *bool   `json:"identical,omitempty"`
+	// Tail latencies, recorded since m3vbench/v3: the p99 of TileMux context
+	// switches and of DTU command durations, merged across every system the
+	// experiment simulated (quantile-sketch estimates, relative error <=
+	// 1/16). Zero when read from an older report or when recorder collection
+	// was off.
+	P99SwitchPs int64 `json:"p99_switch_ps,omitempty"`
+	P99CmdPs    int64 `json:"p99_cmd_ps,omitempty"`
 }
 
-// benchReport is the BENCH_m3vbench.json schema (schema "m3vbench/v2"): the
+// benchReport is the BENCH_m3vbench.json schema (schema "m3vbench/v3"): the
 // per-experiment simulated metrics plus the simulator's own wall-clock
 // trajectory, so performance regressions of the simulator are recorded run
-// over run. v2 adds the sched field and per-experiment events_executed /
-// events_per_sec; v1 files lack them and are still accepted by
-// loadBenchReport.
+// over run. v2 added the sched field and per-experiment events_executed /
+// events_per_sec; v3 adds the p99 tail-latency fields. Older files lack the
+// newer fields and are still accepted by loadBenchReport.
 type benchReport struct {
 	Schema      string            `json:"schema"`
 	Timestamp   string            `json:"timestamp"`
@@ -87,12 +94,15 @@ type benchReport struct {
 	TotalWallMs float64           `json:"total_wall_ms"`
 }
 
-// benchSchemas are the report versions loadBenchReport accepts.
-var benchSchemas = map[string]bool{"m3vbench/v1": true, "m3vbench/v2": true}
+// benchSchema is the version this binary writes; benchSchemas are the
+// versions loadBenchReport accepts.
+const benchSchema = "m3vbench/v3"
+
+var benchSchemas = map[string]bool{"m3vbench/v1": true, "m3vbench/v2": true, benchSchema: true}
 
 // loadBenchReport reads a BENCH_m3vbench.json written by any supported
-// schema version. v1 reports parse with the v2 struct: the fields added in
-// v2 stay zero.
+// schema version. Older reports parse with the current struct: the fields
+// added since stay zero.
 func loadBenchReport(path string) (*benchReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -128,6 +138,8 @@ type options struct {
 	faultSeed     uint64
 	faultRate     float64
 	sched         sim.SchedKind
+	sampleEvery   sim.Time
+	seriesFile    string
 	cpuProfile    string
 	memProfile    string
 }
@@ -148,7 +160,9 @@ func parseOptions(args []string) (*options, error) {
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "uniform fault-injection rate in [0,1] applied to every simulated system (0 disables)")
 	schedFlag := fs.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) or heap (4-ary min-heap)")
-	fs.StringVar(&o.baseline, "baseline", "", "compare wall clock against a previous BENCH_m3vbench.json (v1 or v2)")
+	sampleIvl := fs.String("sample-interval", "", "telemetry sampling interval in sim time applied to every simulated system (e.g. 100ns; empty disables)")
+	fs.StringVar(&o.seriesFile, "series", "", "write the sampled telemetry series of all runs as m3vseries JSON (report with m3vstat)")
+	fs.StringVar(&o.baseline, "baseline", "", "compare wall clock against a previous BENCH_m3vbench.json (older schemas accepted with a warning)")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on clean exit")
 	if err := fs.Parse(args); err != nil {
@@ -168,6 +182,15 @@ func parseOptions(args []string) (*options, error) {
 		return nil, err
 	}
 	o.sched = sched
+	if *sampleIvl != "" {
+		o.sampleEvery, err = sim.ParseTime(*sampleIvl)
+		if err != nil {
+			return nil, fmt.Errorf("-sample-interval: %w", err)
+		}
+	}
+	if o.seriesFile != "" && o.sampleEvery == 0 {
+		return nil, fmt.Errorf("-series requires -sample-interval")
+	}
 	if *fig9Tiles != "" {
 		series, err := parseTiles(*fig9Tiles)
 		if err != nil {
@@ -236,12 +259,21 @@ func main() {
 		// configs; the process-wide default reaches all of them.
 		core.SetDefaultFault(fault.Uniform(o.faultSeed, o.faultRate))
 	}
+	if o.sampleEvery > 0 {
+		// Same pattern for telemetry sampling: every simulated system arms a
+		// sampler at this interval.
+		core.SetDefaultSampling(core.SampleConfig{Interval: o.sampleEvery})
+	}
 	// Experiments build their Systems internally; collect every recorder
 	// created while they run via the global auto-register hook. Under
 	// -parallel the registration order follows run completion, so merged
 	// traces are ordered by (run, timestamp) with run indices assigned in
-	// completion order rather than table order.
-	if o.traceFile != "" || o.flowsFile != "" || o.metrics {
+	// completion order rather than table order. The series export and the
+	// report's p99 fields need the recorders too (metrics only — the event
+	// stream stays off for them).
+	collect := o.traceFile != "" || o.flowsFile != "" || o.metrics ||
+		o.seriesFile != "" || o.benchJSON != ""
+	if collect {
 		trace.SetAutoRegister(true, o.traceFile != "" || o.flowsFile != "")
 		defer trace.SetAutoRegister(false, false)
 	}
@@ -250,7 +282,7 @@ func main() {
 		ids = strings.Split(o.run, ",")
 	}
 	report := benchReport{
-		Schema:    "m3vbench/v2",
+		Schema:    benchSchema,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -264,6 +296,7 @@ func main() {
 			fail("unknown experiment %q (try -list)", id)
 		}
 		ev0 := sim.TotalEventsExecuted()
+		recStart := len(trace.Registered())
 		start := time.Now()
 		r := fn()
 		wall := time.Since(start)
@@ -275,6 +308,11 @@ func main() {
 			WallMs:         float64(wall.Microseconds()) / 1000,
 			Notes:          r.Notes,
 			EventsExecuted: events,
+		}
+		if collect {
+			// Slice off this experiment's recorders before any -compare-serial
+			// rerun registers duplicates.
+			exp.P99SwitchPs, exp.P99CmdPs = tailLatencies(trace.Registered()[recStart:])
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			exp.EventsPerSec = float64(events) / secs
@@ -308,6 +346,10 @@ func main() {
 		old, err := loadBenchReport(o.baseline)
 		if err != nil {
 			fail("baseline: %v", err)
+		}
+		if old.Schema != benchSchema {
+			fmt.Fprintf(os.Stderr, "m3vbench: baseline %s uses older schema %s (current %s); missing fields read as zero\n",
+				o.baseline, old.Schema, benchSchema)
 		}
 		printBaselineDelta(os.Stdout, old, &report)
 	}
@@ -347,6 +389,19 @@ func main() {
 		}
 		fmt.Printf("flows: %d spans from %d runs -> %s\n", total, len(recs), o.flowsFile)
 	}
+	if o.seriesFile != "" {
+		f, err := os.Create(o.seriesFile)
+		if err != nil {
+			fail("series: %v", err)
+		}
+		if err := trace.WriteSeries(f, recs); err != nil {
+			fail("series: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("series: %v", err)
+		}
+		fmt.Printf("series: %d runs -> %s\n", len(recs), o.seriesFile)
+	}
 	if o.metrics {
 		for i, r := range recs {
 			fmt.Printf("--- run %d ---\n%s", i, r.Metrics().Summary())
@@ -377,6 +432,24 @@ func main() {
 			fail("memprofile: %v", err)
 		}
 	}
+}
+
+// tailLatencies merges the context-switch and DTU-command latency histograms
+// across every recorder of one experiment and reports their p99, in
+// picoseconds. The sketch estimate carries a relative error of at most 1/16.
+func tailLatencies(recs []*trace.Recorder) (p99Switch, p99Cmd int64) {
+	var sw, cmd trace.Histogram
+	for _, r := range recs {
+		for _, h := range r.Metrics().Histograms() {
+			switch {
+			case strings.HasSuffix(h.Name(), ".mux.switch_time"):
+				sw.Merge(h)
+			case strings.HasSuffix(h.Name(), ".dtu.cmd_time"):
+				cmd.Merge(h)
+			}
+		}
+	}
+	return sw.Quantile(0.99), cmd.Quantile(0.99)
 }
 
 // printBaselineDelta prints the wall-clock trajectory of the current run

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"m3v/internal/sim"
+	"m3v/internal/trace"
 )
 
 // TestParseOptionsDefaults pins the default option values.
@@ -41,6 +42,8 @@ func TestParseOptionsErrors(t *testing.T) {
 		{"bad rate", []string{"-fault-rate", "2"}, "-fault-rate must be in [0,1]"},
 		{"bad tiles", []string{"-fig9-tiles", "1,x"}, "bad -fig9-tiles entry"},
 		{"zero tile", []string{"-fig9-tiles", "0"}, "bad -fig9-tiles entry"},
+		{"bad interval", []string{"-sample-interval", "later"}, "-sample-interval"},
+		{"series needs interval", []string{"-series", "s.json"}, "-series requires -sample-interval"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -173,6 +176,74 @@ func TestLoadBenchReportV2RoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, &want) {
 		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, &want)
+	}
+}
+
+// TestParseOptionsSampling covers the telemetry flags.
+func TestParseOptionsSampling(t *testing.T) {
+	o, err := parseOptions([]string{"-sample-interval", "100ns", "-series", "s.json"})
+	if err != nil {
+		t.Fatalf("parseOptions: %v", err)
+	}
+	if o.sampleEvery != 100*sim.Nanosecond || o.seriesFile != "s.json" {
+		t.Errorf("sampling options = every %v, series %q", o.sampleEvery, o.seriesFile)
+	}
+}
+
+// TestLoadBenchReportV3RoundTrip writes a current-schema report with the
+// tail-latency fields and reads it back.
+func TestLoadBenchReportV3RoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v3.json")
+	want := benchReport{
+		Schema:    benchSchema,
+		GoVersion: "go1.24.0",
+		NumCPU:    1,
+		Parallel:  2,
+		Sched:     "wheel",
+		Experiments: []benchExperiment{{
+			ID: "fig9", Title: "Scalability", WallMs: 5000,
+			EventsExecuted: 2400000, EventsPerSec: 480000,
+			P99SwitchPs: 8_750_000, P99CmdPs: 7_260_625,
+			Rows: []benchRow{{Label: "M3v find 1", Value: 87.7, Unit: "runs/s"}},
+		}},
+		TotalWallMs: 5000,
+	}
+	data, err := json.MarshalIndent(&want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBenchReport(path)
+	if err != nil {
+		t.Fatalf("loadBenchReport(v3): %v", err)
+	}
+	if !reflect.DeepEqual(got, &want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, &want)
+	}
+}
+
+// TestTailLatencies checks the cross-recorder histogram merge behind the
+// report's p99 fields.
+func TestTailLatencies(t *testing.T) {
+	a := trace.NewRecorder()
+	b := trace.NewRecorder()
+	for i := int64(1); i <= 50; i++ {
+		a.Metrics().Histogram("tile01.mux.switch_time").Observe(i * 1000)
+		b.Metrics().Histogram("tile02.mux.switch_time").Observe(i * 2000)
+		a.Metrics().Histogram("tile01.dtu.cmd_time").Observe(i * 100)
+	}
+	p99Switch, p99Cmd := tailLatencies([]*trace.Recorder{a, b})
+	// The merged switch distribution tops out near 100us; cmd near 5ns.
+	if p99Switch < 90_000 || p99Switch > 100_000 {
+		t.Errorf("p99Switch = %d, want ~99000 (error <= 1/16)", p99Switch)
+	}
+	if p99Cmd < 4_500 || p99Cmd > 5_000 {
+		t.Errorf("p99Cmd = %d, want ~4950 (error <= 1/16)", p99Cmd)
+	}
+	if s, c := tailLatencies(nil); s != 0 || c != 0 {
+		t.Errorf("tailLatencies(nil) = %d/%d, want 0/0", s, c)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"m3v"
 	"m3v/internal/fault"
@@ -48,6 +49,8 @@ func run(args []string, out io.Writer) error {
 	faultSeed := fs.Uint64("fault-seed", 1, "fault-injection schedule seed (with -fault-rate)")
 	faultRate := fs.Float64("fault-rate", 0, "uniform fault-injection rate in [0,1] (0 disables injection)")
 	traceHash := fs.Bool("trace-hash", false, "enable tracing and print the run's event and span hashes")
+	sampleIvl := fs.String("sample-interval", "", "telemetry sampling interval in sim time (e.g. 100ns, 1us; empty disables sampling)")
+	seriesFile := fs.String("series", "", "write sampled telemetry series to this file (JSON; a .csv suffix selects CSV long format)")
 	schedFlag := fs.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) or heap (4-ary min-heap)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on clean exit")
@@ -66,6 +69,16 @@ func run(args []string, out io.Writer) error {
 	sched, err := sim.ParseSched(*schedFlag)
 	if err != nil {
 		return err
+	}
+	var sampleEvery sim.Time
+	if *sampleIvl != "" {
+		sampleEvery, err = sim.ParseTime(*sampleIvl)
+		if err != nil {
+			return fmt.Errorf("-sample-interval: %w", err)
+		}
+	}
+	if *seriesFile != "" && sampleEvery == 0 {
+		return fmt.Errorf("-series requires -sample-interval")
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -89,6 +102,9 @@ func run(args []string, out io.Writer) error {
 	cfg.Sched = sched
 	if *faultRate > 0 {
 		cfg.Fault = fault.Uniform(*faultSeed, *faultRate)
+	}
+	if sampleEvery > 0 {
+		cfg.Sample = m3v.SampleConfig{Interval: sampleEvery}
 	}
 	sys := m3v.NewSystem(cfg)
 	defer sys.Shutdown()
@@ -181,6 +197,27 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("flows: %w", err)
 		}
 		fmt.Fprintf(out, "flows:    %d spans -> %s\n", len(rec.Spans()), *flowsFile)
+	}
+	if *seriesFile != "" {
+		sp := rec.Sampler()
+		f, err := os.Create(*seriesFile)
+		if err != nil {
+			return fmt.Errorf("series: %w", err)
+		}
+		if strings.HasSuffix(*seriesFile, ".csv") {
+			err = sp.WriteCSV(f)
+		} else {
+			err = trace.WriteSeries(f, []*trace.Recorder{rec})
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("series: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("series: %w", err)
+		}
+		fmt.Fprintf(out, "series:   %d ticks, %d series -> %s\n",
+			sp.Samples(), len(sp.Series()), *seriesFile)
 	}
 	if *metrics {
 		fmt.Fprintln(out)

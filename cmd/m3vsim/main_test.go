@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"m3v/internal/trace"
 )
 
 // TestRunFlagValidation covers the argument errors of the CLI entry point.
@@ -16,6 +20,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"zero rounds", []string{"-rounds", "0"}, "-rounds must be >= 1"},
 		{"negative rate", []string{"-fault-rate", "-0.1"}, "-fault-rate must be in [0,1]"},
 		{"rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate must be in [0,1]"},
+		{"bad interval", []string{"-sample-interval", "5 minutes"}, "-sample-interval"},
+		{"series needs interval", []string{"-series", "out.json"}, "-series requires -sample-interval"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -46,6 +52,53 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if strings.Contains(got, "faults:") {
 		t.Errorf("fault summary printed without injection:\n%s", got)
+	}
+}
+
+// TestRunSampledSeries runs a sampled simulation and checks the series
+// export is written, reported, and readable by the trace package.
+func TestRunSampledSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.json")
+	var out strings.Builder
+	if err := run([]string{"-rounds", "5", "-shared",
+		"-sample-interval", "100ns", "-series", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "series:") {
+		t.Errorf("report missing series line:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("series file: %v", err)
+	}
+	defer f.Close()
+	sf, err := trace.ReadSeries(f)
+	if err != nil {
+		t.Fatalf("ReadSeries: %v", err)
+	}
+	if sf.IntervalPs != 100_000 || len(sf.Runs) != 1 {
+		t.Fatalf("interval/runs = %d/%d, want 100000/1", sf.IntervalPs, len(sf.Runs))
+	}
+	if len(sf.Runs[0].Series) == 0 || len(sf.Runs[0].Histograms) == 0 {
+		t.Fatalf("empty series export: %d series, %d histograms",
+			len(sf.Runs[0].Series), len(sf.Runs[0].Histograms))
+	}
+}
+
+// TestRunSampledCSV checks the CSV variant of -series.
+func TestRunSampledCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.csv")
+	var out strings.Builder
+	if err := run([]string{"-rounds", "5",
+		"-sample-interval", "1us", "-series", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("csv file: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "series,kind,t_ps,value\n") {
+		t.Errorf("csv header missing: %.80q", string(data))
 	}
 }
 

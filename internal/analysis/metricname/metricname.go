@@ -1,8 +1,8 @@
 // Package metricname implements the m3vlint analyzer that governs the
 // names handed to the trace metrics registry. PR 2 had to dedupe a metric
 // name collision by hand; this analyzer makes the three rules machine
-// checked at every call to (*trace.Metrics).Counter and
-// (*trace.Metrics).Histogram:
+// checked at every call to (*trace.Metrics).Counter,
+// (*trace.Metrics).Histogram, and (*trace.Metrics).Gauge:
 //
 //   - names are statically derived: a string literal, a fmt.Sprintf of a
 //     literal format, a prefix+literal concatenation, or a local variable
@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
 	Doc: `enforce literal, convention-following, unique metric names
 
-Every (*trace.Metrics).Counter / Histogram call must pass a name the
+Every (*trace.Metrics).Counter / Histogram / Gauge call must pass a name the
 analyzer can resolve statically (literal, Sprintf of a literal format,
 prefix+literal, or a local assigned only those), matching
 component.noun[.more] with lowercase [a-z][a-z0-9_]* segments, and no two
@@ -102,8 +102,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// registryCall reports whether call is (*trace.Metrics).Counter or
-// (*trace.Metrics).Histogram.
+// registryCall reports whether call is (*trace.Metrics).Counter,
+// (*trace.Metrics).Histogram, or (*trace.Metrics).Gauge.
 func registryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -113,7 +113,7 @@ func registryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	if !ok || fn.Pkg() == nil {
 		return false
 	}
-	if fn.Name() != "Counter" && fn.Name() != "Histogram" {
+	if fn.Name() != "Counter" && fn.Name() != "Histogram" && fn.Name() != "Gauge" {
 		return false
 	}
 	p := fn.Pkg().Path()

@@ -1,7 +1,7 @@
 // Package trace is a fixture stub of the real m3v/internal/trace registry
-// surface: metricname keys on the (*Metrics).Counter / Histogram methods
-// of this import path, so the stub lets fixtures register metrics without
-// pulling the whole module into the test.
+// surface: metricname keys on the (*Metrics).Counter / Histogram / Gauge
+// methods of this import path, so the stub lets fixtures register metrics
+// without pulling the whole module into the test.
 package trace
 
 type Metrics struct{}
@@ -16,5 +16,10 @@ type Histogram struct{}
 
 func (h *Histogram) Observe(v int64) {}
 
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64) {}
+
 func (m *Metrics) Counter(name string) *Counter     { return &Counter{} }
 func (m *Metrics) Histogram(name string) *Histogram { return &Histogram{} }
+func (m *Metrics) Gauge(name string) *Gauge         { return &Gauge{} }

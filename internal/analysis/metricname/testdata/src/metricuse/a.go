@@ -25,6 +25,10 @@ func register(m *trace.Metrics, tile int, pfx string, dynamic func() string) {
 	m.Counter(pfx + "ctx_switches")                      // dynamic component + literal noun
 	m.Counter(pfx + "Bad-Suffix")                        // want `suffix "Bad-Suffix" violates`
 	m.Counter(dynamic())                                 // want `not statically derived`
+	m.Gauge("noc.inflight")                              // gauges share the namespace
+	m.Gauge("noc.delivered")                             // want `duplicate metric name "noc\.delivered"`
+	m.Gauge("UPPER.depth")                               // want `violates the component\.noun convention`
+	m.Gauge(dynamic())                                   // want `not statically derived`
 }
 
 // localVar mirrors tilemux's switchTarget idiom: the name is built in a

@@ -53,7 +53,30 @@ type Config struct {
 	// wheel, or whatever sim.SetDefaultScheduler installed — the CLIs'
 	// -sched flag uses the latter, mirroring the Fault pattern above).
 	Sched sim.SchedKind
+	// Sample arms sim-time telemetry sampling (see sim.StartSampling). The
+	// zero value keeps sampling off and defers to the process-wide default
+	// set via SetDefaultSampling, mirroring the Fault pattern above.
+	Sample SampleConfig
 }
+
+// SampleConfig configures the sim-time telemetry sampler.
+type SampleConfig struct {
+	// Interval is the sampling period in sim time; 0 disables sampling.
+	Interval sim.Time
+	// Cap bounds each series' ring buffer (0 = trace.DefaultSampleCap).
+	Cap int
+}
+
+// Enabled reports whether this config arms the sampler.
+func (sc SampleConfig) Enabled() bool { return sc.Interval > 0 }
+
+// defaultSample is the process-wide sampling config applied to systems whose
+// own Config.Sample is disabled. Set once at CLI startup, before any system
+// is built.
+var defaultSample SampleConfig
+
+// SetDefaultSampling installs the process-wide default sampling config.
+func SetDefaultSampling(sc SampleConfig) { defaultSample = sc }
 
 // defaultFault is the process-wide fault config applied to systems whose
 // own Config.Fault is disabled. Set once at CLI startup, before any system

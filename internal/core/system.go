@@ -166,6 +166,18 @@ func New(cfg Config) *System {
 		}
 	}
 
+	// Telemetry sampling: armed last so the components' probes are all
+	// registered, disabled by default (no recurring event, no gauges beyond
+	// the instruments above). A disabled config defers to the process-wide
+	// default, mirroring the fault-injection pattern.
+	sc := cfg.Sample
+	if !sc.Enabled() {
+		sc = defaultSample
+	}
+	if sc.Enabled() {
+		eng.StartSampling(sc.Interval, sc.Cap)
+	}
+
 	s.Kern.OnActExit = func(id uint32, code int32) {
 		if h := s.rootHandles[id]; h != nil && !h.done {
 			h.done = true

@@ -2,6 +2,7 @@ package dtu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"m3v/internal/fault"
 	"m3v/internal/mem"
@@ -79,6 +80,10 @@ type dtuMetrics struct {
 	sends, replies, fetches, acks, reads, writes *trace.Counter
 	coreReqs, nacked                             *trace.Counter
 	cmdTime                                      *trace.Histogram
+	// coreReqDepth tracks the pending core-request queue continuously (set at
+	// every push/ack); occupiedSlots is refreshed by the probe in New.
+	coreReqDepth  *trace.Gauge
+	occupiedSlots *trace.Gauge
 }
 
 func newDTUMetrics(m *trace.Metrics, tile noc.TileID) dtuMetrics {
@@ -86,15 +91,17 @@ func newDTUMetrics(m *trace.Metrics, tile noc.TileID) dtuMetrics {
 		return m.Counter(fmt.Sprintf("tile%02d.dtu.%s", tile, what))
 	}
 	return dtuMetrics{
-		sends:    c("sends"),
-		replies:  c("replies"),
-		fetches:  c("fetches"),
-		acks:     c("acks"),
-		reads:    c("reads"),
-		writes:   c("writes"),
-		coreReqs: c("core_reqs_raised"),
-		nacked:   c("nacked_deliveries"),
-		cmdTime:  m.Histogram(fmt.Sprintf("tile%02d.dtu.cmd_time", tile)),
+		sends:         c("sends"),
+		replies:       c("replies"),
+		fetches:       c("fetches"),
+		acks:          c("acks"),
+		reads:         c("reads"),
+		writes:        c("writes"),
+		coreReqs:      c("core_reqs_raised"),
+		nacked:        c("nacked_deliveries"),
+		cmdTime:       m.Histogram(fmt.Sprintf("tile%02d.dtu.cmd_time", tile)),
+		coreReqDepth:  m.Gauge(fmt.Sprintf("tile%02d.dtu.core_req_depth", tile)),
+		occupiedSlots: m.Gauge(fmt.Sprintf("tile%02d.dtu.occupied_slots", tile)),
 	}
 }
 
@@ -114,6 +121,19 @@ func New(eng *sim.Engine, net *noc.Network, tile noc.TileID, coreClock sim.Clock
 	if virt {
 		d.tlb = NewTLB()
 	}
+	// Receive-slot occupancy timeline: unacked messages parked in receive
+	// buffers across all endpoints. Probe-published, so it costs nothing
+	// unless a sampler is armed.
+	eng.Tracer().Metrics().AddProbe(func() {
+		occ := 0
+		for i := range d.eps {
+			ep := &d.eps[i]
+			if ep.Kind == EpReceive {
+				occ += bits.OnesCount64(ep.occupied)
+			}
+		}
+		d.m.occupiedSlots.Set(int64(occ))
+	})
 	net.Attach(tile, d)
 	return d
 }
@@ -354,6 +374,7 @@ func (d *DTU) pushCoreReq(act ActID, flow uint64) {
 		int64(d.eng.Now()), int(d.tile), trace.CompDTU)
 	d.coreReqs = append(d.coreReqs, coreReq{act: act, flow: flow, span: span})
 	d.m.coreReqs.Inc()
+	d.m.coreReqDepth.Set(int64(len(d.coreReqs)))
 	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqRaise,
 		int64(act), int64(len(d.coreReqs)))
 	if wasEmpty {

@@ -77,6 +77,7 @@ func (d *DTU) AckCoreReq(p *sim.Proc) {
 	}
 	cr := d.coreReqs[0]
 	d.coreReqs = d.coreReqs[1:]
+	d.m.coreReqDepth.Set(int64(len(d.coreReqs)))
 	d.rec.EndSpanArgs(cr.span, int64(d.eng.Now()), trace.PathNone,
 		int64(cr.act), int64(len(d.coreReqs)))
 	d.rec.CoreReq(int64(d.eng.Now()), int(d.tile), trace.KindCoreReqDrain,

@@ -102,6 +102,7 @@ type Network struct {
 	cNacked    *trace.Counter
 	cDropped   *trace.Counter
 	cBytes     *trace.Counter
+	gInflight  *trace.Gauge // packets on the wire (incl. queued retries)
 
 	// inj injects packet faults at the transmit edge. Nil (the default)
 	// means a perfect interconnect.
@@ -121,7 +122,26 @@ func New(eng *sim.Engine, topo Topology, cfg Config) *Network {
 		cNacked:    reg.Counter("noc.nacked"),
 		cDropped:   reg.Counter("noc.dropped"),
 		cBytes:     reg.Counter("noc.bytes"),
+		gInflight:  reg.Gauge("noc.inflight"),
 	}
+	// Per-router backlog timelines: how far each ingress router's free time
+	// sits beyond the clock, i.e. the serialization queue ahead of the next
+	// packet. Published lazily — the gauges update only when a sampler tick
+	// runs the probe.
+	backlog := make([]*trace.Gauge, topo.Routers())
+	for r := range backlog {
+		backlog[r] = reg.Gauge(fmt.Sprintf("noc.router%02d.backlog_ps", r))
+	}
+	reg.AddProbe(func() {
+		now := eng.Now()
+		for r, g := range backlog {
+			b := n.routerFree[r] - now
+			if b < 0 {
+				b = 0
+			}
+			g.Set(int64(b))
+		}
+	})
 	if tiles := topo.Tiles(); tiles > 0 {
 		n.nTiles = tiles
 		n.handlers = make([]Handler, tiles)
@@ -277,6 +297,7 @@ func (n *Network) releaseInflight(fl *inflight) {
 //m3v:simctx
 func (n *Network) Send(pkt *Packet) {
 	n.inj.CountSend()
+	n.gInflight.Inc()
 	fl := n.newInflight(pkt)
 	if pkt.Src == pkt.Dst {
 		// Tile-local loopback through the DTU: one hop worth of latency,
@@ -343,6 +364,7 @@ func (fl *inflight) transmit() {
 func (n *Network) terminalDrop(fl *inflight) {
 	pkt := fl.pkt
 	n.cDropped.Inc()
+	n.gInflight.Dec()
 	n.inj.TerminalDrop(pkt.Flow, int(pkt.Dst), fl.attempt)
 	drop := pkt.Drop
 	n.releasePkt(pkt)
@@ -370,6 +392,7 @@ func (fl *inflight) deliver() {
 	wire := int64(now - fl.sentAt)
 	if h.Deliver(pkt) {
 		n.cDelivered.Inc()
+		n.gInflight.Dec()
 		n.cBytes.Add(int64(pkt.Size))
 		n.rec.NoCPacket(int64(fl.sentAt), wire, int(pkt.Src), int(pkt.Dst), int64(pkt.Size), true)
 		n.rec.EndSpanArgs(fl.span, int64(now), trace.PathNone, int64(fl.attempt), 1)

@@ -327,6 +327,10 @@ type Engine struct {
 
 	rec    *trace.Recorder
 	evExec *trace.Counter
+
+	sampler     *trace.Sampler
+	sampleEvery Time
+	sampleFn    func() // cached recurring tick closure (scheduled without allocating)
 }
 
 // NewEngine returns a ready-to-use engine at time zero, using the
@@ -564,6 +568,79 @@ func (e *Engine) popSelf(seq uint64) bool {
 	e.now = at
 	e.inlined++
 	return true
+}
+
+// StartSampling arms sim-time telemetry: a trace.Sampler over the engine's
+// metrics registry, driven by a recurring event every `every` (first tick at
+// now+every). Each tick runs the registry's probes, snapshots all gauges and
+// counter deltas into ring-buffered series (capSamples per series, 0 for the
+// default), and reschedules itself. The engine also registers its own probe
+// publishing sim.procs_ready / sim.procs_parked / sim.events_pending /
+// sim.wheel_slots, so scheduler pressure shows up in the timelines.
+//
+// When sampling is off nothing here runs — no event is scheduled and the
+// engine gauges are never created, so an unsampled run pays nothing.
+//
+// The recurring tick keeps the queue non-empty: bound the run with RunUntil
+// (or Stop), as Engine.Run would spin on sampler ticks forever. Sampling
+// does not emit trace events or spans, but each tick consumes sequence
+// numbers, which shifts seeded fault schedules (see fault injection); event
+// streams of fault-free runs are unaffected.
+//
+// Calling StartSampling again returns the existing sampler unchanged.
+func (e *Engine) StartSampling(every Time, capSamples int) *trace.Sampler {
+	if every <= 0 {
+		panic("sim: StartSampling interval must be positive")
+	}
+	if e.sampler != nil {
+		return e.sampler
+	}
+	m := e.rec.Metrics()
+	gReady := m.Gauge("sim.procs_ready")
+	gParked := m.Gauge("sim.procs_parked")
+	gPending := m.Gauge("sim.events_pending")
+	gSlots := m.Gauge("sim.wheel_slots")
+	m.AddProbe(func() {
+		parked := 0
+		for _, p := range e.procs {
+			if p.parked {
+				parked++
+			}
+		}
+		gParked.Set(int64(parked))
+		gReady.Set(int64(len(e.procs) - parked))
+		gPending.Set(int64(e.Pending()))
+		if e.useWheel {
+			gSlots.Set(int64(e.wq.occupiedSlots()))
+		}
+	})
+	s := trace.NewSampler(m, int64(every), capSamples)
+	e.sampler = s
+	e.rec.SetSampler(s)
+	e.sampleEvery = every
+	e.sampleFn = func() {
+		if e.sampler == nil {
+			return // StopSampling won over an already-queued tick
+		}
+		// Publish Sleep-fast-path events consumed since the last flush so the
+		// events_executed series sees them; loop-dispatched events still batch
+		// until the dispatch loop exits (deliberate — the hot loop touches no
+		// counters).
+		e.flush(0)
+		e.sampler.Sample(int64(e.now))
+		e.After(e.sampleEvery, e.sampleFn)
+	}
+	e.After(every, e.sampleFn)
+	return s
+}
+
+// StopSampling disarms the sampler: an already-queued tick becomes a no-op
+// and no further ticks are scheduled. The recorder's sampler reference is
+// cleared too, so keep the *Sampler returned by StartSampling if the
+// collected series are still wanted.
+func (e *Engine) StopSampling() {
+	e.sampler = nil
+	e.rec.SetSampler(nil)
 }
 
 // Pending reports the number of queued events.

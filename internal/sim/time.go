@@ -7,7 +7,11 @@
 // same model therefore produce identical simulated results.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Time is a point in simulated time, measured in picoseconds. The picosecond
 // base lets clock domains of 100 MHz (10 000 ps), 80 MHz (12 500 ps) and
@@ -57,6 +61,36 @@ func trimUnit(v float64, unit string) string {
 		s = s[:len(s)-1]
 	}
 	return s + unit
+}
+
+// ParseTime parses a duration string in simulated time: a decimal number
+// with a unit suffix ps, ns, us (or µs), ms, or s — the inverse of String.
+// Used by CLI flags like -sample-interval.
+func ParseTime(s string) (Time, error) {
+	units := []struct {
+		suffix string
+		unit   Time
+	}{
+		// Longest suffixes first, so "ns" does not match the "s" rule.
+		{"ps", Picosecond}, {"ns", Nanosecond},
+		{"us", Microsecond}, {"µs", Microsecond},
+		{"ms", Millisecond}, {"s", Second},
+	}
+	for _, u := range units {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok || num == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q: %w", s, err)
+		}
+		if v < 0 {
+			return 0, fmt.Errorf("bad duration %q: negative", s)
+		}
+		return Time(v * float64(u.unit)), nil
+	}
+	return 0, fmt.Errorf("bad duration %q: want a number with a ps/ns/us/ms/s suffix", s)
 }
 
 // Seconds reports t as a floating-point number of seconds.

@@ -83,6 +83,21 @@ func (q *wheelQueue) len() int {
 	return q.ring.n + (len(q.cur) - q.curHead) + q.slotCount + len(q.heap)
 }
 
+// occupiedSlots counts the occupied wheel slots across all levels — a
+// telemetry gauge for how spread out the pending-event horizon is (distinct
+// from len, which counts events).
+//
+//m3v:noalloc
+func (q *wheelQueue) occupiedSlots() int {
+	n := 0
+	for k := 0; k < wheelLevels; k++ {
+		for _, w := range q.occ[k] {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
 // schedule inserts an event with at >= now.
 //
 //m3v:noalloc

@@ -46,6 +46,11 @@ type Mux struct {
 	coreBusy   bool
 	coreQ      sim.WaitQueue
 	muxWaiting bool
+	// busyStart stamps the current core-token hold; acquire/release bracket
+	// all core time, so summing the holds yields the tile's busy time (the
+	// utilization numerator). The sampler's probe flushes the in-progress
+	// hold so long computations don't show up as idle-then-spike.
+	busyStart sim.Time
 
 	muxProc *sim.Proc
 	// wake pokes the scheduler; cached once so stall injection can defer
@@ -65,6 +70,7 @@ type Mux struct {
 	cCtxSwitches  *trace.Counter
 	cIrqs         *trace.Counter
 	cPageFaults   *trace.Counter
+	cBusyPs       *trace.Counter
 	hSwitchTime   *trace.Histogram
 	switchTargets map[dtu.ActID]*trace.Counter
 }
@@ -88,9 +94,32 @@ func New(eng *sim.Engine, clock sim.Clock, d *dtu.DTU, eps EPConfig) *Mux {
 		cCtxSwitches:  reg.Counter(pfx + "ctx_switches"),
 		cIrqs:         reg.Counter(pfx + "irqs"),
 		cPageFaults:   reg.Counter(pfx + "page_faults"),
+		cBusyPs:       reg.Counter(pfx + "busy_ps"),
 		hSwitchTime:   reg.Histogram(pfx + "switch_time"),
 		switchTargets: make(map[dtu.ActID]*trace.Counter),
 	}
+	// Scheduler-pressure timelines, published at sampler ticks only: ready
+	// contexts waiting for the core, activities whose wakeup is pending
+	// (messages arrived but not yet dispatched), and the in-progress share of
+	// the busy-time counter.
+	gRunnable := reg.Gauge(pfx + "runnable")
+	gPending := reg.Gauge(pfx + "pending_wakeups")
+	reg.AddProbe(func() {
+		gRunnable.Set(int64(len(m.runq)))
+		pending := 0
+		// Order-insensitive: a pure count over the map, no writes.
+		for _, a := range m.acts {
+			if a.msgs > 0 && a.state != actRunning {
+				pending++
+			}
+		}
+		gPending.Set(int64(pending))
+		if m.coreBusy {
+			now := m.eng.Now()
+			m.cBusyPs.Add(int64(now - m.busyStart))
+			m.busyStart = now
+		}
+	})
 	d.SetCurAct(ActIdle)
 	d.OnCoreReq = func() { m.muxProc.Wake() }
 	d.OnMsgArrived = func(act dtu.ActID) {
@@ -279,10 +308,12 @@ func (m *Mux) acquire(p *sim.Proc, isMux bool) {
 		m.muxWaiting = false
 	}
 	m.coreBusy = true
+	m.busyStart = p.Now()
 }
 
 func (m *Mux) release() {
 	m.coreBusy = false
+	m.cBusyPs.Add(int64(m.eng.Now() - m.busyStart))
 	if m.muxWaiting {
 		m.muxProc.Wake()
 		return

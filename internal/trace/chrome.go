@@ -106,6 +106,7 @@ func writeChrome(w io.Writer, recs []*Recorder, pidStride int) error {
 			out.TraceEvents = append(out.TraceEvents, ce)
 		}
 		writeChromeSpans(&out, r, ri, pidStride, name)
+		writeChromeCounters(&out, r, ri, pidStride)
 	}
 	out.DisplayTimeUnit = "ns"
 	enc := json.NewEncoder(w)
@@ -198,6 +199,45 @@ func writeChromeSpans(out *chromeFile, r *Recorder, ri, pidStride int,
 				ce.BP = "e"
 			}
 			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+}
+
+// writeChromeCounters renders the recorder's sampled series as Perfetto
+// counter tracks ("ph":"C"), so queue depths and utilization draw as area
+// charts alongside the event and span lanes. Series for a specific tile
+// (name "tileNN.component.what") attach to that tile's process; global
+// series (engine, NoC) go to a per-run "metrics" pseudo-process at the last
+// pid of the run's stride window.
+func writeChromeCounters(out *chromeFile, r *Recorder, ri, pidStride int) {
+	sp := r.Sampler()
+	if sp == nil {
+		return
+	}
+	metricsPid := ri*pidStride + pidStride - 1
+	namedMetricsPid := false
+	for _, sr := range sp.Series() {
+		pid := metricsPid
+		var tile int
+		if n, _ := fmt.Sscanf(sr.Name(), "tile%d.", &tile); n == 1 {
+			pid = ri*pidStride + tile
+		} else if !namedMetricsPid {
+			namedMetricsPid = true
+			proc := "metrics"
+			if ri > 0 {
+				proc = fmt.Sprintf("sys%d metrics", ri)
+			}
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+					Args: map[string]interface{}{"name": proc}})
+		}
+		for i := 0; i < sr.Len(); i++ {
+			t, v := sr.Sample(i)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sr.Name(), Cat: "counter", Ph: "C",
+				Ts: usOf(t), Pid: pid, Tid: 0,
+				Args: map[string]interface{}{"value": v},
+			})
 		}
 	}
 }

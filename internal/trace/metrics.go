@@ -15,6 +15,9 @@ import (
 type Metrics struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+	// probes publish derived gauge state on demand; see AddProbe (gauge.go).
+	probes []func()
 }
 
 // NewMetrics returns an empty registry.
@@ -22,6 +25,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
 	}
 }
 
@@ -67,11 +71,23 @@ func (m *Metrics) Histograms() []*Histogram {
 	return out
 }
 
-// Snapshot returns the current counter values by name.
+// Snapshot returns the current registry state by name: counter and gauge
+// values under their own names, and each histogram's observation count and
+// sum under "<name>.count" / "<name>.sum". Instrument names are unique
+// module-wide (enforced by the metricname analyzer), so the keys cannot
+// collide. For deterministic iteration use the sorted accessors
+// (Counters/Histograms/Gauges) instead of ranging over the map.
 func (m *Metrics) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(m.counters))
+	out := make(map[string]int64, len(m.counters)+len(m.gauges)+2*len(m.hists))
 	for name, c := range m.counters {
 		out[name] = c.v
+	}
+	for name, g := range m.gauges {
+		out[name] = g.v
+	}
+	for name, h := range m.hists {
+		out[name+".count"] = h.count
+		out[name+".sum"] = h.sum
 	}
 	return out
 }
@@ -106,9 +122,19 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
+// Histogram sub-bucket resolution: each power-of-two bucket is split into
+// 2^histSubBits linear cells, bounding Quantile's relative error by
+// 1/2^histSubBits (HDR-histogram style) without storing raw samples.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+)
+
 // Histogram accumulates int64 observations (typically picosecond durations)
 // into power-of-two buckets plus count/sum/min/max, cheap enough to stay on
-// even when event tracing is off.
+// even when event tracing is off. A log-linear sub-bucket grid underneath
+// the coarse buckets turns it into a bounded-error quantile sketch: Quantile
+// reports any percentile with relative error at most 1/16, in fixed memory.
 type Histogram struct {
 	name     string
 	count    int64
@@ -117,6 +143,10 @@ type Histogram struct {
 	// buckets[i] counts observations v with bitlen(v) == i, i.e. bucket 0
 	// holds v == 0 and bucket i holds 2^(i-1) <= v < 2^i.
 	buckets [65]int64
+	// sub[i] splits bucket i (i >= 1) into histSubCount linear cells of
+	// width 2^(i-1)/histSubCount each (cells are exact for i <= histSubBits,
+	// where the bucket is narrower than the grid).
+	sub [65][histSubCount]int64
 }
 
 // Name returns the histogram's registry name.
@@ -140,7 +170,23 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bits.Len64(uint64(v))]++
+	b := bits.Len64(uint64(v))
+	h.buckets[b]++
+	if b > 0 {
+		h.sub[b][histSubIdx(v, b)]++
+	}
+}
+
+// histSubIdx maps a value in bucket b (bitlen(v) == b, b >= 1) to its linear
+// sub-bucket cell.
+//
+//m3v:noalloc
+func histSubIdx(v int64, b int) int {
+	lo := int64(1) << uint(b-1)
+	if b <= histSubBits {
+		return int(v - lo) // bucket narrower than the grid: exact cells
+	}
+	return int((v - lo) >> uint(b-1-histSubBits))
 }
 
 // Count reports the number of observations.
@@ -202,4 +248,88 @@ func (h *Histogram) Buckets() (bounds []int64, counts []int64) {
 		counts = append(counts, n)
 	}
 	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the log-linear
+// sub-bucket sketch. The estimate is the upper edge of the cell holding the
+// rank, clamped to [Min, Max], so the relative error is bounded by the cell
+// width: at most 1/histSubCount (6.25%). q <= 0 returns Min, q >= 1 returns
+// Max, and an empty (or nil) histogram returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := h.buckets[0]
+	if seen >= rank {
+		return 0
+	}
+	for b := 1; b <= 64; b++ {
+		if h.buckets[b] == 0 {
+			continue
+		}
+		for s := 0; s < histSubCount; s++ {
+			n := h.sub[b][s]
+			if n == 0 {
+				continue
+			}
+			seen += n
+			if seen < rank {
+				continue
+			}
+			if b >= 63 {
+				// Cell edges would overflow int64; such durations are
+				// far beyond any simulated time anyway.
+				return h.max
+			}
+			lo := int64(1) << uint(b-1)
+			width := int64(1)
+			if b > histSubBits {
+				width = int64(1) << uint(b-1-histSubBits)
+			}
+			v := lo + int64(s+1)*width - 1 // upper edge of the cell
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's observations into h, for aggregating per-tile histograms
+// across tiles or runs. Merging preserves the sketch: quantiles of the
+// merged histogram carry the same error bound. A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	for i := range h.sub {
+		for j := range h.sub[i] {
+			h.sub[i][j] += o.sub[i][j]
+		}
+	}
 }

@@ -20,6 +20,7 @@ type Recorder struct {
 	spans    []Span
 	nextFlow uint64
 	metrics  *Metrics
+	sampler  *Sampler
 }
 
 // NewRecorder returns a recorder with an empty metrics registry and the
@@ -51,6 +52,19 @@ func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
 
 // Metrics returns the recorder's registry (never nil on a non-nil recorder).
 func (r *Recorder) Metrics() *Metrics { return r.metrics }
+
+// SetSampler attaches the sampler feeding off this recorder's registry, so
+// exporters reached through the recorder (chrome, series files) can find the
+// sampled timelines.
+func (r *Recorder) SetSampler(s *Sampler) { r.sampler = s }
+
+// Sampler returns the attached sampler, or nil when the run is unsampled.
+func (r *Recorder) Sampler() *Sampler {
+	if r == nil {
+		return nil
+	}
+	return r.sampler
+}
 
 // Events returns the recorded stream. The slice is owned by the recorder;
 // callers must not modify it.

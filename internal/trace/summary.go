@@ -21,7 +21,9 @@ func (r *Recorder) Summary() string {
 	return b.String()
 }
 
-// Summary renders the registry's counters and histograms as aligned tables.
+// Summary renders the registry's counters, gauges, and histograms as
+// aligned tables. Histogram rows include sketch quantiles (p50/p99), so the
+// tail is visible without a series export.
 func (m *Metrics) Summary() string {
 	var b strings.Builder
 	counters := m.Counters()
@@ -32,14 +34,26 @@ func (m *Metrics) Summary() string {
 		}
 		b.WriteString(t.String())
 	}
+	gauges := m.Gauges()
+	if len(gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		t := stats.NewTable("gauge", "value")
+		for _, g := range gauges {
+			t.AddRow(g.Name(), g.Value())
+		}
+		b.WriteString(t.String())
+	}
 	hists := m.Histograms()
 	if len(hists) > 0 {
 		if b.Len() > 0 {
 			b.WriteByte('\n')
 		}
-		t := stats.NewTable("histogram", "count", "mean", "min", "max")
+		t := stats.NewTable("histogram", "count", "mean", "min", "p50", "p99", "max")
 		for _, h := range hists {
-			t.AddRow(h.Name(), h.Count(), fmtPs(int64(h.Mean())), fmtPs(h.Min()), fmtPs(h.Max()))
+			t.AddRow(h.Name(), h.Count(), fmtPs(int64(h.Mean())), fmtPs(h.Min()),
+				fmtPs(h.Quantile(0.50)), fmtPs(h.Quantile(0.99)), fmtPs(h.Max()))
 		}
 		b.WriteString(t.String())
 	}

@@ -72,6 +72,8 @@ type (
 	Handle = core.Handle
 	// TileID identifies a tile on the NoC.
 	TileID = noc.TileID
+	// SampleConfig arms sim-time telemetry sampling (Config.Sample).
+	SampleConfig = core.SampleConfig
 )
 
 // Re-exported activity types.
