@@ -114,6 +114,45 @@ grep -q 'switch_time' "$TRACE_TMP/fig6-stat.txt"
 go test -count=1 -run 'TestGaugeAllocFree' ./internal/trace
 go test -count=1 -run 'TestNoSamplerZeroCost' ./internal/sim
 
+echo "== serve smoke =="
+# Daemon gate: m3vd on an ephemeral port must answer duplicate requests
+# byte-identically with the second served from cache (counter-verified via
+# /metrics), distinct requests must differ, a duplicate-heavy m3vload run
+# must succeed, and SIGTERM must drain to exit 0.
+go build -o "$TRACE_TMP/m3vd" ./cmd/m3vd
+go build -o "$TRACE_TMP/m3vload" ./cmd/m3vload
+"$TRACE_TMP/m3vd" -addr 127.0.0.1:0 -portfile "$TRACE_TMP/m3vd.port" \
+    -workers 2 > "$TRACE_TMP/m3vd.log" 2>&1 &
+M3VD_PID=$!
+trap 'kill "$M3VD_PID" 2>/dev/null || true; rm -rf "$TRACE_TMP"' EXIT
+i=0
+while [ ! -s "$TRACE_TMP/m3vd.port" ]; do
+    i=$((i + 1))
+    test "$i" -le 100 || { echo "m3vd never wrote its portfile"; exit 1; }
+    sleep 0.1
+done
+M3VD_ADDR="127.0.0.1:$(cat "$TRACE_TMP/m3vd.port")"
+"$TRACE_TMP/m3vload" -addr "$M3VD_ADDR" -single -experiment fig6 \
+    -out "$TRACE_TMP/run-a.json"
+"$TRACE_TMP/m3vload" -addr "$M3VD_ADDR" -single -experiment fig6 \
+    -out "$TRACE_TMP/run-b.json"
+cmp "$TRACE_TMP/run-a.json" "$TRACE_TMP/run-b.json"   # duplicates byte-identical
+"$TRACE_TMP/m3vload" -addr "$M3VD_ADDR" -single -experiment fig9 -tiles 1 \
+    -out "$TRACE_TMP/run-c.json"
+if cmp -s "$TRACE_TMP/run-a.json" "$TRACE_TMP/run-c.json"; then
+    echo "distinct requests returned identical bodies"; exit 1
+fi
+"$TRACE_TMP/m3vload" -addr "$M3VD_ADDR" -fetch /metrics \
+    > "$TRACE_TMP/m3vd-metrics.txt"
+grep -Eq 'serve\.cache_hits [1-9]' "$TRACE_TMP/m3vd-metrics.txt"
+"$TRACE_TMP/m3vload" -addr "$M3VD_ADDR" -n 16 -c 4 -dup 0.75 -tiles 1 \
+    -experiment fig9 | tee "$TRACE_TMP/m3vload.txt"
+grep -q 'errors x0' "$TRACE_TMP/m3vload.txt"
+kill -TERM "$M3VD_PID"
+wait "$M3VD_PID"                         # graceful drain must exit 0
+grep -q 'm3vd: drained' "$TRACE_TMP/m3vd.log"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+
 echo "== bench json =="
 # Record the perf trajectory: wall clock per experiment plus the
 # serial-vs-parallel comparison, which also gates on byte-identical tables.

@@ -28,19 +28,19 @@ import (
 	"m3v/internal/trace"
 )
 
-var experiments = map[string]func() *bench.Result{
-	"table1":   bench.Table1,
-	"sloc":     bench.SoftwareComplexity,
-	"fig6":     bench.Fig6,
-	"fig7":     bench.Fig7,
-	"fig8":     bench.Fig8,
-	"fig9":     bench.Fig9,
-	"voice":    bench.VoiceAssistant,
-	"fig10":    bench.Fig10,
-	"ablation": bench.Ablations,
-}
-
-var order = []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", "fig10", "ablation"}
+// The dispatch table comes from the shared experiment registry
+// (bench.Experiments), the single source of truth for experiment names used
+// here and by the m3vd serving layer: order preserves the registry's
+// canonical run sequence, experiments indexes it by ID.
+var order, experiments = func() ([]string, map[string]func() *bench.Result) {
+	var ids []string
+	byID := make(map[string]func() *bench.Result)
+	for _, e := range bench.Experiments() {
+		ids = append(ids, e.ID)
+		byID[e.ID] = e.Run
+	}
+	return ids, byID
+}()
 
 // benchRow is one table row in the -bench-json report.
 type benchRow struct {

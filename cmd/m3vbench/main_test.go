@@ -9,9 +9,33 @@ import (
 	"strings"
 	"testing"
 
+	"m3v/internal/bench"
 	"m3v/internal/sim"
 	"m3v/internal/trace"
 )
+
+// TestRegistryAgreement checks that the names m3vbench accepts are exactly
+// the shared registry's IDs, in registry order, and pins the canonical
+// list: m3vd dispatches from the same table, so a drift here would split
+// the CLI and the serving layer.
+func TestRegistryAgreement(t *testing.T) {
+	want := []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", "fig10", "ablation"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	reg := bench.Experiments()
+	if len(reg) != len(order) {
+		t.Fatalf("registry has %d entries, m3vbench accepts %d", len(reg), len(order))
+	}
+	for i, e := range reg {
+		if order[i] != e.ID {
+			t.Errorf("order[%d] = %q, registry %q", i, order[i], e.ID)
+		}
+		if fn, ok := experiments[e.ID]; !ok || fn == nil {
+			t.Errorf("experiment %q has no m3vbench driver", e.ID)
+		}
+	}
+}
 
 // TestParseOptionsDefaults pins the default option values.
 func TestParseOptionsDefaults(t *testing.T) {

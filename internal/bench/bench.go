@@ -70,17 +70,11 @@ func (r *Result) Get(label string) float64 {
 	return 0
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order (the registry's order).
 func All() []*Result {
-	return []*Result{
-		Table1(),
-		SoftwareComplexity(),
-		Fig6(),
-		Fig7(),
-		Fig8(),
-		Fig9(),
-		VoiceAssistant(),
-		Fig10(),
-		Ablations(),
+	var out []*Result
+	for _, e := range Experiments() {
+		out = append(out, e.Run())
 	}
+	return out
 }

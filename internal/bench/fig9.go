@@ -35,12 +35,26 @@ func Fig9Point(m3xMode bool, n int, mkTrace func() *traces.Trace) float64 {
 
 // fig9Throughput runs the benchmark on n worker tiles and reports runs/s.
 func fig9Throughput(m3xMode bool, n int, mkTrace func() *traces.Trace) float64 {
+	v, err := fig9Run(m3xMode, n, mkTrace, ServeParams{}, nil)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// fig9Run is the parameterized, cancellable core of the figure: one
+// (system, trace, tile-count) point. The canceler may stop the simulation
+// from another goroutine (ErrCancelled); an uncancelled run whose players
+// made no progress is an error instead of the CLI path's panic.
+func fig9Run(m3xMode bool, n int, mkTrace func() *traces.Trace, p ServeParams, c *sim.Canceler) (float64, error) {
 	cfg := core.Gem5Config(n + 1) // +1 for the orchestrator
 	if m3xMode {
 		cfg = cfg.WithM3x()
 	}
+	p.apply(&cfg)
 	sys := core.New(cfg)
 	defer sys.Shutdown()
+	c.Attach(sys.Eng)
 	procs := sys.Cfg.ProcessingTiles()
 	rootTile := procs[0]
 	workers := procs[1 : n+1]
@@ -75,12 +89,15 @@ func fig9Throughput(m3xMode bool, n int, mkTrace func() *traces.Trace) float64 {
 		}
 	})
 	sys.Run(3600 * sim.Second)
+	if c.Cancelled() {
+		return 0, ErrCancelled
+	}
 
 	var minStart, maxEnd sim.Time
 	totalRuns := 0
 	for i, res := range results {
 		if res.runs == 0 {
-			panic(fmt.Sprintf("fig9: player %d finished no runs", i))
+			return 0, fmt.Errorf("fig9: player %d finished no runs", i)
 		}
 		if i == 0 || res.start < minStart {
 			minStart = res.start
@@ -92,9 +109,9 @@ func fig9Throughput(m3xMode bool, n int, mkTrace func() *traces.Trace) float64 {
 	}
 	elapsed := maxEnd - minStart
 	if elapsed <= 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(totalRuns) / elapsed.Seconds()
+	return float64(totalRuns) / elapsed.Seconds(), nil
 }
 
 // tracePlayer replays its trace against the tile-local file system.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -60,6 +61,79 @@ func TestForEachPointPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// sentinel is a distinct panic payload type: the serial path must hand it
+// back unwrapped.
+type sentinel struct{ msg string }
+
+// TestForEachPointSerialPanicRawEarlyExit pins the workers<=1 contract the
+// serving pool leans on: the panic value reaches the caller untouched (no
+// recover on the path) and later points never run.
+func TestForEachPointSerialPanicRawEarlyExit(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(1)
+	want := sentinel{"boom"}
+	var ran []int
+	defer func() {
+		r := recover()
+		if r != want {
+			t.Errorf("serial panic value = %#v, want %#v (unwrapped)", r, want)
+		}
+		if len(ran) != 3 || ran[2] != 2 {
+			t.Errorf("serial ran points %v, want [0 1 2] (early exit)", ran)
+		}
+	}()
+	forEachPoint(5, func(i int) {
+		ran = append(ran, i)
+		if i == 2 {
+			panic(want)
+		}
+	})
+	t.Fatal("unreachable: panic must propagate")
+}
+
+// TestForEachPointClampedSerialPanic: with more workers than points the
+// runner degrades to the serial path, so a single-point sweep panics raw
+// even under SetParallelism(many).
+func TestForEachPointClampedSerialPanic(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(8)
+	want := sentinel{"solo"}
+	defer func() {
+		if r := recover(); r != want {
+			t.Errorf("clamped-serial panic value = %#v, want %#v", r, want)
+		}
+	}()
+	forEachPoint(1, func(int) { panic(want) })
+	t.Fatal("unreachable: panic must propagate")
+}
+
+// TestForEachPointParallelPanicWrapsAndCompletes pins the workers>1
+// contract: every point is still attempted (no early exit — the pool
+// drains), and the caller sees a first-panic-wins message naming the point.
+func TestForEachPointParallelPanicWrapsAndCompletes(t *testing.T) {
+	defer SetParallelism(orig(t))
+	SetParallelism(4)
+	var attempted int32
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "panicked: boom") ||
+			!strings.HasPrefix(s, "bench: point ") {
+			t.Errorf("parallel panic value = %#v, want wrapped \"bench: point N panicked: boom\"", r)
+		}
+		if got := atomic.LoadInt32(&attempted); got != 16 {
+			t.Errorf("parallel attempted %d points, want all 16", got)
+		}
+	}()
+	forEachPoint(16, func(i int) {
+		atomic.AddInt32(&attempted, 1)
+		if i == 5 || i == 11 {
+			panic("boom")
+		}
+	})
+	t.Fatal("unreachable: panic must propagate")
 }
 
 // TestFig9ParallelSerialEquivalence is the acceptance check of the sweep

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"m3v/internal/sim"
+)
+
+// TestRegistryShape pins the registry's canonical order, ID uniqueness,
+// and which experiments are servable.
+func TestRegistryShape(t *testing.T) {
+	wantOrder := []string{"table1", "sloc", "fig6", "fig7", "fig8", "fig9", "voice", "fig10", "ablation"}
+	reg := Experiments()
+	if len(reg) != len(wantOrder) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(wantOrder))
+	}
+	seen := make(map[string]bool)
+	for i, e := range reg {
+		if e.ID != wantOrder[i] {
+			t.Errorf("registry[%d].ID = %q, want %q", i, e.ID, wantOrder[i])
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate registry ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("experiment %q has nil Run", e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %q has empty Title", e.ID)
+		}
+	}
+	for _, id := range []string{"fig6", "fig9"} {
+		e, ok := Lookup(id)
+		if !ok || e.Servable == nil {
+			t.Errorf("experiment %q must be servable", id)
+		}
+	}
+	if e, ok := Lookup("table1"); !ok || e.Servable != nil {
+		t.Errorf("table1 unexpectedly servable: ok=%v", ok)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+// TestServableFig6Deterministic runs the servable fig6 twice with equal
+// params and requires identical rendered tables — the property that makes
+// the serving layer's result cache sound.
+func TestServableFig6Deterministic(t *testing.T) {
+	e, _ := Lookup("fig6")
+	run := func() string {
+		r, err := e.Servable(ServeParams{}, sim.NewCanceler())
+		if err != nil {
+			t.Fatalf("servable fig6: %v", err)
+		}
+		return r.String()
+	}
+	first := run()
+	if second := run(); first != second {
+		t.Errorf("servable fig6 not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(first, "M3v remote") || !strings.Contains(first, "M3v local") {
+		t.Errorf("servable fig6 rows missing:\n%s", first)
+	}
+}
+
+// TestServableFig9TileClamp checks the tile knob: out-of-range counts
+// clamp into the figure's 1..12 series and the row labels carry the
+// resolved count.
+func TestServableFig9TileClamp(t *testing.T) {
+	e, _ := Lookup("fig9")
+	r, err := e.Servable(ServeParams{Tiles: 0}, sim.NewCanceler())
+	if err != nil {
+		t.Fatalf("servable fig9: %v", err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("servable fig9 rows = %d, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !strings.HasSuffix(row.Label, " 1") {
+			t.Errorf("row %q should carry the clamped tile count 1", row.Label)
+		}
+		if row.Value <= 0 {
+			t.Errorf("row %q value = %g, want > 0", row.Label, row.Value)
+		}
+	}
+}
+
+// TestServableCancelledBeforeStart: a canceler cancelled before the runner
+// is invoked must abort the run with ErrCancelled — engines attached after
+// the cancellation execute zero events.
+func TestServableCancelledBeforeStart(t *testing.T) {
+	for _, id := range []string{"fig6", "fig9"} {
+		e, _ := Lookup(id)
+		c := sim.NewCanceler()
+		c.Cancel()
+		if _, err := e.Servable(ServeParams{Tiles: 1}, c); !errors.Is(err, ErrCancelled) {
+			t.Errorf("%s with pre-cancelled canceler: err = %v, want ErrCancelled", id, err)
+		}
+	}
+}
+
+// TestServableCancelConcurrent cancels a servable run from another
+// goroutine while it executes — the -race gate for the serving layer's
+// deadline/disconnect path. The run may legitimately win the race and
+// complete; anything other than success or ErrCancelled is a failure.
+func TestServableCancelConcurrent(t *testing.T) {
+	e, _ := Lookup("fig9")
+	c := sim.NewCanceler()
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Servable(ServeParams{Tiles: 1}, c)
+		done <- err
+	}()
+	c.Cancel()
+	if err := <-done; err != nil && !errors.Is(err, ErrCancelled) {
+		t.Errorf("concurrent cancel: err = %v, want nil or ErrCancelled", err)
+	}
+}

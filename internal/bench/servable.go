@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"m3v/internal/core"
+	"m3v/internal/sim"
+	"m3v/internal/traces"
+)
+
+// This file holds the Servable runners behind the experiment registry:
+// parameterized, cancellable variants of the figure drivers for the m3vd
+// serving layer. They differ from the CLI drivers in three ways: platform
+// knobs come from ServeParams instead of process-wide defaults, the
+// canceler is attached to every engine so a deadline or client disconnect
+// stops the simulation from another goroutine, and interrupted runs report
+// errors instead of panicking.
+
+// servableFig6 measures the M3v local and remote no-op RPC (the simulated
+// half of Figure 6; the Linux-model rows are CLI-only). Tiles is ignored:
+// the topology is the fixed FPGA platform.
+func servableFig6(p ServeParams, c *sim.Canceler) (*Result, error) {
+	const rounds = 100
+	clk := sim.MHz(80)
+	pts := runPoints(2, func(i int) sim.Time {
+		cfg := core.FPGAConfig()
+		p.apply(&cfg)
+		sys := core.New(cfg)
+		defer sys.Shutdown()
+		c.Attach(sys.Eng)
+		procs := sys.Cfg.ProcessingTiles()
+		clientTile := procs[1] // first BOOM core
+		serverTile := procs[2]
+		if i == 1 {
+			serverTile = clientTile // tile-local point
+		}
+		return measureRPCOn(sys, clientTile, serverTile, rounds)
+	})
+	if c.Cancelled() {
+		return nil, ErrCancelled
+	}
+	remote, local := pts[0], pts[1]
+	if remote <= 0 || local <= 0 {
+		// A cancelled engine leaves the client mid-loop and its total at
+		// zero; anything else producing zero is a broken measurement.
+		return nil, errors.New("fig6: rpc measurement incomplete")
+	}
+	r := &Result{ID: "fig6", Title: "Local/remote no-op RPC vs Linux primitives"}
+	r.Add("M3v remote", remote.Micros(), "us", 25)
+	r.Add("M3v local", local.Micros(), "us", 62)
+	r.Add("M3v remote (cycles)", float64(clk.CyclesIn(remote)), "cycles", 2000)
+	r.Add("M3v local (cycles)", float64(clk.CyclesIn(local)), "cycles", 5000)
+	return r, nil
+}
+
+// servableFig9 measures one tile-count point of Figure 9 (M3v mode) for
+// both traces. Tiles selects the point, clamped to the figure's 1..12
+// range.
+func servableFig9(p ServeParams, c *sim.Canceler) (*Result, error) {
+	n := p.Tiles
+	if n < 1 {
+		n = 1
+	}
+	if n > 12 {
+		n = 12
+	}
+	specs := []struct {
+		name string
+		mk   func() *traces.Trace
+	}{
+		{"find", traces.Find},
+		{"SQLite", traces.SQLite},
+	}
+	type point struct {
+		v   float64
+		err error
+	}
+	pts := runPoints(len(specs), func(i int) point {
+		v, err := fig9Run(false, n, specs[i].mk, p, c)
+		return point{v, err}
+	})
+	if c.Cancelled() {
+		return nil, ErrCancelled
+	}
+	r := &Result{ID: "fig9", Title: "Scalability of tile multiplexing (runs/s)"}
+	for i, s := range specs {
+		if pts[i].err != nil {
+			return nil, pts[i].err
+		}
+		label := fmt.Sprintf("M3v %s %d", s.name, n)
+		r.Add(label, pts[i].v, "runs/s", fig9Paper[label])
+	}
+	return r, nil
+}

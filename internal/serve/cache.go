@@ -1,0 +1,61 @@
+package serve
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used map from request digest to
+// response body. Soundness note: because the simulator is deterministic,
+// an entry never goes stale — eviction exists only to bound memory, and a
+// hit may be served forever. Not safe for concurrent use; the server holds
+// its mutex around every call.
+type lru struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *lruEntry
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and marks it most recently used.
+func (c *lru) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// put stores body under key, reporting whether an older entry was evicted
+// to make room. A zero-capacity cache stores nothing.
+func (c *lru) put(key string, body []byte) (evicted bool) {
+	if c.capacity <= 0 {
+		return false
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return false
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted = true
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	return evicted
+}
+
+// len reports the number of cached entries.
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,80 @@
+package sim
+
+import "sync"
+
+// Canceler fans a single cancellation out to every engine attached to it.
+// It exists for code that drives simulations from outside the simulation
+// goroutine — a serving layer's deadline timers and client-disconnect
+// handlers — where the engine to cancel may not even exist yet when the
+// cancellation decision is made: a job can be cancelled while it is still
+// queued, before its driver has built a system. Attach after Cancel stops
+// the engine immediately, closing that race.
+//
+// All methods are safe for concurrent use from any goroutine, and Attach,
+// Cancelled, and Done are nil-receiver safe so drivers can thread an
+// optional *Canceler without guarding every call site. Construct with
+// NewCanceler; the zero value's Done channel is missing and Cancel on it
+// panics.
+type Canceler struct {
+	mu        sync.Mutex
+	cancelled bool
+	engines   []*Engine
+	done      chan struct{}
+}
+
+// NewCanceler returns a ready-to-use Canceler.
+func NewCanceler() *Canceler {
+	return &Canceler{done: make(chan struct{})}
+}
+
+// Attach registers an engine to be stopped by Cancel. If the canceler was
+// already cancelled the engine is cancelled on the spot, so a driver that
+// builds its system after the client vanished runs zero events. A nil
+// canceler or nil engine is a no-op.
+func (c *Canceler) Attach(e *Engine) {
+	if c == nil || e == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		e.Cancel()
+		return
+	}
+	c.engines = append(c.engines, e)
+}
+
+// Cancel permanently cancels every attached engine (and every engine
+// attached later) and closes the Done channel. Idempotent.
+func (c *Canceler) Cancel() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		return
+	}
+	c.cancelled = true
+	for _, e := range c.engines {
+		e.Cancel()
+	}
+	c.engines = nil
+	close(c.done)
+}
+
+// Cancelled reports whether Cancel has been called. False on a nil receiver.
+func (c *Canceler) Cancelled() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelled
+}
+
+// Done returns a channel closed by the first Cancel. Nil (blocks forever)
+// on a nil receiver.
+func (c *Canceler) Done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.done
+}

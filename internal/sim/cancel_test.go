@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// startTicking gives e a self-rescheduling event every 1ns so its queue is
+// never empty, and runs the engine on its own goroutine. The returned
+// channel yields Run's result; started closes once the first tick executed.
+func startTicking(e *Engine) (done chan Time, started chan struct{}) {
+	done = make(chan Time, 1)
+	started = make(chan struct{})
+	var once sync.Once
+	var tick func()
+	tick = func() {
+		once.Do(func() { close(started) })
+		e.After(Nanosecond, tick)
+	}
+	e.After(0, tick)
+	go func() { done <- e.Run() }()
+	return done, started
+}
+
+// TestStopFromAnotherGoroutine is the -race gate for cross-goroutine
+// cancellation: Stop is called from outside the simulation goroutine while
+// the dispatch loop is hot. Before stopped became atomic this was a data
+// race (a plain bool write with no happens-before edge to the loop's read).
+func TestStopFromAnotherGoroutine(t *testing.T) {
+	e := NewEngine()
+	done, started := startTicking(e)
+	<-started
+	e.Stop()
+	at := <-done
+	if at != e.Now() {
+		t.Errorf("Run returned %v, engine now %v", at, e.Now())
+	}
+
+	// Stop is one-shot: a new bounded run proceeds past it.
+	resumed := e.RunUntil(at + 100*Nanosecond)
+	if resumed <= at {
+		t.Errorf("RunUntil after Stop did not advance: %v -> %v", at, resumed)
+	}
+
+	// Cancel is sticky: further runs dispatch nothing.
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	now := e.Now()
+	if got := e.Run(); got != now {
+		t.Errorf("Run on cancelled engine advanced time: %v -> %v", now, got)
+	}
+	e.Shutdown()
+}
+
+// TestCancelBeforeRun checks the sticky flag wins the race where Cancel
+// lands before the dispatch loop even starts: enter() must not erase it.
+func TestCancelBeforeRun(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(Nanosecond, func() { ran = true })
+	e.Cancel()
+	if got := e.Run(); got != 0 {
+		t.Errorf("Run on cancelled engine returned %v, want 0", got)
+	}
+	if ran {
+		t.Error("cancelled engine dispatched an event")
+	}
+	e.Shutdown()
+}
+
+// TestCancelerFanout cancels two engines running on two goroutines through
+// one Canceler, from a third goroutine.
+func TestCancelerFanout(t *testing.T) {
+	c := NewCanceler()
+	var dones []chan Time
+	var engines []*Engine
+	for i := 0; i < 2; i++ {
+		e := NewEngine()
+		c.Attach(e)
+		done, started := startTicking(e)
+		<-started
+		dones = append(dones, done)
+		engines = append(engines, e)
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("Done closed before Cancel")
+	default:
+	}
+	c.Cancel()
+	c.Cancel() // idempotent
+	for i, done := range dones {
+		<-done
+		if !engines[i].Cancelled() {
+			t.Errorf("engine %d not cancelled", i)
+		}
+		engines[i].Shutdown()
+	}
+	if !c.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	<-c.Done() // closed, must not block
+}
+
+// TestCancelerAttachAfterCancel: an engine built after the cancellation
+// decision must run zero events.
+func TestCancelerAttachAfterCancel(t *testing.T) {
+	c := NewCanceler()
+	c.Cancel()
+	e := NewEngine()
+	ran := false
+	e.After(Nanosecond, func() { ran = true })
+	c.Attach(e)
+	if got := e.Run(); got != 0 || ran {
+		t.Errorf("attached-after-cancel engine ran: now %v, ran %v", got, ran)
+	}
+	e.Shutdown()
+}
+
+// TestCancelerNil: the nil receiver is a safe no-op for the optional-field
+// idiom in experiment drivers.
+func TestCancelerNil(t *testing.T) {
+	var c *Canceler
+	e := NewEngine()
+	c.Attach(e) // no-op, no panic
+	if c.Cancelled() {
+		t.Error("nil Canceler reports cancelled")
+	}
+	select {
+	case <-c.Done():
+		t.Error("nil Canceler Done yielded")
+	default:
+	}
+	e.After(Nanosecond, func() {})
+	if got := e.Run(); got != Nanosecond {
+		t.Errorf("engine attached to nil canceler stopped early: %v", got)
+	}
+	e.Shutdown()
+}

@@ -319,11 +319,21 @@ type Engine struct {
 	parked   chan struct{} // a process hands control back to the engine
 	dead     bool          // set by Shutdown; unwinds woken processes
 	procs    []*Proc       // spawned, not yet finished processes
-	stopped  bool
-	running  bool
-	limit    Time  // bound of the active dispatch loop (MaxTime for Run)
-	inlined  int64 // events consumed by the Sleep fast path since last flush
-	tracer   func(Time, string)
+
+	// stopped halts the active dispatch loop after the in-flight event.
+	// Atomic: Stop and Cancel are the only engine entry points that may be
+	// called from outside the simulation goroutine (server deadline and
+	// client-disconnect handlers need exactly that), so the write must have
+	// a happens-before edge to the loop's read.
+	stopped atomic.Bool
+	// cancelled is the sticky form of stopped: once set, enter() re-arms
+	// stopped on every subsequent Run/RunUntil, so a cancelled engine stays
+	// cancelled even if the cancel races the start of the next run.
+	cancelled atomic.Bool
+	running   bool
+	limit     Time  // bound of the active dispatch loop (MaxTime for Run)
+	inlined   int64 // events consumed by the Sleep fast path since last flush
+	tracer    func(Time, string)
 
 	rec    *trace.Recorder
 	evExec *trace.Counter
@@ -413,8 +423,26 @@ func (e *Engine) At(t Time, fn func()) {
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // Stop makes the Run loop return after the current event completes. Pending
-// events remain queued; Run can be called again to continue.
-func (e *Engine) Stop() { e.stopped = true }
+// events remain queued; Run can be called again to continue. Safe to call
+// from any goroutine: the flag is atomic, so an external caller (a deadline
+// timer, a disconnect handler) synchronizes correctly with the dispatch
+// loop. A Stop that lands while no loop is active is erased by the next
+// Run/RunUntil; use Cancel for a stop that must survive that race.
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// Cancel permanently stops the engine: the active dispatch loop (if any)
+// returns after the in-flight event, and every subsequent Run/RunUntil
+// returns immediately without dispatching. Pending events stay queued and
+// spawned processes stay parked; Shutdown still unwinds them. Safe to call
+// from any goroutine — this is the cancellation entry point for code outside
+// the simulation (server deadlines, client disconnects).
+func (e *Engine) Cancel() {
+	e.cancelled.Store(true)
+	e.stopped.Store(true)
+}
+
+// Cancelled reports whether Cancel has been called.
+func (e *Engine) Cancelled() bool { return e.cancelled.Load() }
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the simulated time at which it stopped. Unlike RunUntil, the dispatch loop
@@ -430,7 +458,7 @@ func (e *Engine) Run() Time {
 	e.limit = MaxTime
 	var executed int64
 	if e.useWheel {
-		for !e.stopped {
+		for !e.stopped.Load() {
 			ev, ok := e.wq.popNext()
 			if !ok {
 				break
@@ -441,7 +469,7 @@ func (e *Engine) Run() Time {
 			ev.fn()
 		}
 	} else {
-		for !e.stopped {
+		for !e.stopped.Load() {
 			ev, ok := e.hq.popNext()
 			if !ok {
 				break
@@ -475,7 +503,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 	e.limit = limit
 	var executed int64
 	if e.useWheel {
-		for !e.stopped {
+		for !e.stopped.Load() {
 			ev, st := e.wq.popLimit(limit)
 			if st != popOK {
 				if st == popBeyond && limit > e.now {
@@ -489,7 +517,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 			ev.fn()
 		}
 	} else {
-		for !e.stopped {
+		for !e.stopped.Load() {
 			ev, st := e.hq.popLimit(limit)
 			if st != popOK {
 				if st == popBeyond && limit > e.now {
@@ -513,7 +541,9 @@ func (e *Engine) enter() {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
-	e.stopped = false
+	// A fresh loop clears a one-shot Stop but honors a sticky Cancel, even
+	// one that raced the start of this run.
+	e.stopped.Store(e.cancelled.Load())
 }
 
 //m3v:noalloc
@@ -552,7 +582,7 @@ func (e *Engine) flush(executed int64) {
 //
 //m3v:noalloc
 func (e *Engine) popSelf(seq uint64) bool {
-	if e.stopped {
+	if e.stopped.Load() {
 		return false
 	}
 	var at Time
